@@ -1,0 +1,73 @@
+"""Ablation A4 — dense vs sparse state saving (§2.2.1).
+
+The paper: "If the pattern of access to an array is dense, it makes
+sense to save the whole array.  However, if the pattern of access is
+sparse, it is better to save individual elements."  This bench runs the
+hardware scheme with both backup policies on a dense loop (Ocean-like:
+every element written) and a sparse loop (few elements of a large array
+written) and checks the crossover.
+"""
+
+from conftest import run_once
+
+from repro.params import default_params
+from repro.runtime import RunConfig, ScheduleSpec, SchedulePolicy, VirtualMode
+from repro.runtime.driver import run_hw
+from repro.trace import ArraySpec, Loop, compute, read, write
+from repro.types import ProtocolKind
+
+
+def sparse_loop(elements=32_768, iterations=64):
+    """Touches ~2 elements per iteration of a large array."""
+    body = []
+    for i in range(iterations):
+        j = (i * 509) % elements  # scattered
+        body.append([read("A", j), compute(60), write("A", j)])
+    return Loop("sparse", [ArraySpec("A", elements, 8, ProtocolKind.NONPRIV)], body)
+
+
+def dense_loop(elements=2_048, iterations=64):
+    """Touches every element of a small array."""
+    per = elements // iterations
+    body = []
+    for i in range(iterations):
+        ops = []
+        for k in range(per):
+            j = i * per + k
+            ops += [read("A", j), compute(60), write("A", j)]
+        body.append(ops)
+    return Loop("dense", [ArraySpec("A", elements, 8, ProtocolKind.NONPRIV)], body)
+
+
+def sweep():
+    params = default_params(8)
+    schedule = ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+    out = {}
+    for label, loop in (("sparse", sparse_loop()), ("dense", dense_loop())):
+        walls = {}
+        for sparse in (False, True):
+            cfg = RunConfig(schedule=schedule, sparse_backup=sparse)
+            run = run_hw(loop, params, cfg)
+            assert run.passed
+            walls["sparse-backup" if sparse else "dense-backup"] = (
+                run.wall, run.phases.get("backup", 0.0)
+            )
+        out[label] = walls
+    return out
+
+
+def test_ablation_backup(benchmark):
+    out = run_once(benchmark, sweep)
+    print()
+    print("Ablation A4 — backup policy vs access density (HW scheme)")
+    for label, walls in out.items():
+        for policy, (wall, backup_phase) in walls.items():
+            print(f"{label:>7} {policy:<14} wall={wall:>10.0f} backup={backup_phase:>9.0f}")
+    # Sparse saving wins when few elements are written...
+    assert (
+        out["sparse"]["sparse-backup"][0] < out["sparse"]["dense-backup"][0]
+    )
+    # ...and dense (whole-array) saving is at least competitive when
+    # everything is written (no hashing win left).
+    dense = out["dense"]
+    assert dense["dense-backup"][1] <= dense["sparse-backup"][1] * 1.3

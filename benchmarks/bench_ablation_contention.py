@@ -1,0 +1,55 @@
+"""Ablation A6 — directory occupancy (contention) sensitivity.
+
+The paper models contention in the whole system except the network
+(§5.1).  This bench sweeps the directory occupancy window and shows
+how queueing at the home directories erodes the parallel speedup —
+the knob that separates an unloaded latency model from a loaded one.
+"""
+
+import dataclasses
+
+from conftest import run_once
+
+from repro.params import default_params
+from repro.runtime import RunConfig, ScheduleSpec, SchedulePolicy, VirtualMode
+from repro.runtime.driver import run_ideal, run_serial
+from repro.workloads.synthetic import parallel_nonpriv_loop
+
+OCCUPANCIES = (0, 4, 8, 16, 32)
+
+
+def sweep():
+    loop = parallel_nonpriv_loop(iterations=64, work_cycles=30)
+    out = {}
+    for occ in OCCUPANCIES:
+        base = default_params(16)
+        params = dataclasses.replace(
+            base,
+            contention=dataclasses.replace(
+                base.contention,
+                directory_occupancy=occ,
+                enabled=occ > 0,
+            ),
+        )
+        serial = run_serial(loop, params)
+        ideal = run_ideal(
+            loop, params,
+            RunConfig(schedule=ScheduleSpec(
+                SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)),
+        )
+        out[occ] = serial.wall / ideal.wall
+    return out
+
+
+def test_ablation_contention(benchmark):
+    out = run_once(benchmark, sweep)
+    print()
+    print("Ablation A6 — Ideal speedup vs directory occupancy (16 procs)")
+    print(f"{'occupancy':>10} {'speedup':>8}")
+    for occ, speedup in out.items():
+        print(f"{occ:>10} {speedup:>8.2f}")
+    speedups = [out[o] for o in OCCUPANCIES]
+    # Queueing monotonically (weakly) erodes the speedup.
+    assert speedups[0] >= speedups[-1]
+    # Heavy occupancy must hurt measurably.
+    assert speedups[-1] < speedups[0] * 0.98

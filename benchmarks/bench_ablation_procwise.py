@@ -1,0 +1,65 @@
+"""Ablation A2 — iteration-wise vs processor-wise software test (§2.2.3).
+
+On Track, the iteration-wise test fails the executions carrying
+adjacent-iteration dependences, while the processor-wise test passes
+them (the dependent pairs land in one chunk) at the price of static
+scheduling under load imbalance.
+"""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import make_workload
+from repro.params import default_params
+from repro.runtime import RunConfig, ScheduleSpec, SchedulePolicy, VirtualMode
+from repro.runtime.driver import run_serial, run_sw
+
+
+def sweep():
+    workload = make_workload("Track", PRESET)
+    dep_index = next(
+        i for i in range(12) if workload.is_dependent_execution(i)
+    )
+    loops = list(workload.executions(dep_index + 1))
+    dep_loop = loops[dep_index]
+    clean_loop = loops[0]
+    params = default_params(workload.num_processors)
+
+    iter_wise = RunConfig(
+        schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
+    )
+    proc_wise = RunConfig(
+        schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.PROCESSOR)
+    )
+    out = {}
+    for label, loop in (("clean", clean_loop), ("dependent", dep_loop)):
+        serial = run_serial(loop, params)
+        out[label] = {
+            "iteration-wise": run_sw(loop, params, iter_wise, serial_result=serial),
+            "processor-wise": run_sw(loop, params, proc_wise, serial_result=serial),
+            "serial": serial,
+        }
+    return out
+
+
+def test_ablation_procwise(benchmark):
+    out = run_once(benchmark, sweep)
+    print()
+    print("Ablation A2 — Track software test variants")
+    for label, runs in out.items():
+        for variant in ("iteration-wise", "processor-wise"):
+            r = runs[variant]
+            print(
+                f"{label:>10} {variant:<15} passed={r.passed!s:<5} "
+                f"wall={r.wall:>10.0f}"
+            )
+    # Clean executions pass either way.
+    assert out["clean"]["iteration-wise"].passed
+    assert out["clean"]["processor-wise"].passed
+    # The dependent execution separates the variants (§5.2).
+    assert not out["dependent"]["iteration-wise"].passed
+    assert out["dependent"]["processor-wise"].passed
+    # Failing costs more than passing: the failed iteration-wise run
+    # pays the whole parallel execution plus restore plus serial.
+    dep = out["dependent"]
+    assert dep["iteration-wise"].wall > dep["processor-wise"].wall
+    assert dep["iteration-wise"].wall > dep["serial"].wall

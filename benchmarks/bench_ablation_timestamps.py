@@ -1,0 +1,55 @@
+"""Ablation A5 — time-stamp width vs synchronization cost (§3.3).
+
+Narrow time stamps save directory SRAM (Table 2) but force periodic
+all-processor synchronizations when the effective iteration number
+would overflow.  This bench sweeps the stamp width on a privatizable
+loop and reports the wall-time cost of the extra barriers.
+"""
+
+from conftest import run_once
+
+from repro.params import default_params
+from repro.runtime import RunConfig, ScheduleSpec, SchedulePolicy, VirtualMode
+from repro.runtime.driver import run_hw
+from repro.trace import ArraySpec, Loop, compute, read, write
+from repro.types import ProtocolKind
+
+ITERATIONS = 256
+BITS = (2, 3, 4, 6, 16)
+
+
+def scratch_loop():
+    body = []
+    for i in range(ITERATIONS):
+        e = i % 16
+        body.append([write("W", e), compute(50), read("W", e)])
+    return Loop("ts-sweep", [ArraySpec("W", 128, 8, ProtocolKind.PRIV)], body)
+
+
+def sweep():
+    params = default_params(8)
+    loop = scratch_loop()
+    out = {}
+    for bits in BITS:
+        cfg = RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.BLOCK_CYCLIC, 1, VirtualMode.CHUNK),
+            timestamp_bits=bits,
+        )
+        run = run_hw(loop, params, cfg)
+        assert run.passed, bits
+        epochs = -(-ITERATIONS // (2 ** bits - 1))
+        out[bits] = (run.wall, epochs - 1)
+    return out
+
+
+def test_ablation_timestamps(benchmark):
+    out = run_once(benchmark, sweep)
+    print()
+    print("Ablation A5 — privatization time-stamp width (256 iterations, 8 procs)")
+    print(f"{'bits':>5} {'epoch syncs':>12} {'wall':>10}")
+    for bits, (wall, syncs) in out.items():
+        print(f"{bits:>5} {syncs:>12} {wall:>10.0f}")
+    walls = [out[b][0] for b in BITS]
+    # More synchronizations -> more wall time; wide stamps need none.
+    assert walls[0] > walls[-1]
+    assert out[BITS[-1]][1] == 0

@@ -1,0 +1,52 @@
+"""Extension E — scalability beyond the paper's two points.
+
+Figure 14 compares only 8 and 16 processors.  This extension sweeps
+2..32 processors on the Adm surrogate to expose the full curves: the
+hardware scheme keeps tracking Ideal while the software scheme's curve
+flattens as its constant-per-processor merge/analysis work and growing
+remote-shadow traffic take over (§6.3's argument, extrapolated).
+"""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import make_workload
+from repro.experiments.scenarios import run_workload
+from repro.types import Scenario
+
+PROCS = (2, 4, 8, 16, 32)
+
+
+def sweep():
+    rows = []
+    for procs in PROCS:
+        workload = make_workload("Adm", PRESET)
+        res = run_workload(workload, executions=1, num_processors=procs)
+        rows.append(
+            (
+                procs,
+                res.speedup(Scenario.IDEAL),
+                res.speedup(Scenario.SW),
+                res.speedup(Scenario.HW),
+            )
+        )
+    return rows
+
+
+def test_ext_scaling(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Extension E — Adm speedups, 2..32 processors")
+    print(f"{'procs':>6} {'Ideal':>8} {'SW':>8} {'HW':>8} {'HW/SW':>7}")
+    for procs, ideal, sw, hw in rows:
+        print(f"{procs:>6} {ideal:>8.2f} {sw:>8.2f} {hw:>8.2f} {hw / sw:>7.2f}")
+    # HW stays within a reasonable factor of Ideal everywhere.
+    for procs, ideal, sw, hw in rows:
+        assert hw > 0.4 * ideal, procs
+    # The HW advantage over SW grows with the machine.
+    first_ratio = rows[0][3] / rows[0][2]
+    last_ratio = rows[-1][3] / rows[-1][2]
+    assert last_ratio > first_ratio
+    # The software curve saturates and eventually *drops* (the paper
+    # observed this for P3m already at 16 processors, §6.3).
+    by_procs = {r[0]: r for r in rows}
+    assert by_procs[32][2] < by_procs[8][2]

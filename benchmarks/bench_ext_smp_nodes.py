@@ -1,0 +1,47 @@
+"""Extension F — processors per node (SMP-node clustering).
+
+The paper's machine has one processor per node.  Clustering several
+processors per node (quad SMP nodes, as DASH itself had) makes more of
+the round-robin pages home-local and shrinks the machine's directory
+count.  This extension sweeps processors-per-node at a fixed processor
+count and reports the effect on the hardware scheme.
+"""
+
+import dataclasses
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import make_workload
+from repro.params import default_params
+from repro.runtime.driver import run_hw, run_serial
+
+CLUSTERS = (1, 2, 4)
+
+
+def sweep():
+    workload = make_workload("Adm", PRESET)
+    loop = next(workload.executions(1))
+    out = {}
+    for per_node in CLUSTERS:
+        params = dataclasses.replace(
+            default_params(16), processors_per_node=per_node
+        )
+        serial = run_serial(loop, params)
+        hw = run_hw(loop, params, workload.hw_config(), serial_result=serial)
+        assert hw.passed
+        remote = hw.mem.remote_2hop + hw.mem.remote_3hop
+        out[per_node] = (serial.wall / hw.wall, remote, hw.mem.misses)
+    return out
+
+
+def test_ext_smp_nodes(benchmark):
+    out = run_once(benchmark, sweep)
+    print()
+    print("Extension F — Adm HW speedup vs processors per node (16 procs)")
+    print(f"{'procs/node':>10} {'speedup':>8} {'remote misses':>14} {'of misses':>10}")
+    for per_node, (speedup, remote, misses) in out.items():
+        frac = remote / misses if misses else 0.0
+        print(f"{per_node:>10} {speedup:>8.2f} {remote:>14} {100 * frac:>9.0f}%")
+    # Clustering processors makes more misses home-local.
+    remotes = [out[c][1] for c in CLUSTERS]
+    assert remotes[0] > remotes[-1]

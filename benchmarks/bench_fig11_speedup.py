@@ -1,0 +1,24 @@
+"""Figure 11 — speedups of Ideal/SW/HW on the four loops.
+
+Paper result: HW averages ~6.7 speedup on 16 processors, SW ~2.9, with
+HW roughly halfway between SW and Ideal on every loop.  The shape
+(ordering and the ~2x HW/SW ratio) is asserted; absolute values depend
+on the preset.
+"""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import fig11_speedups
+from repro.experiments.report import render_fig11
+
+
+def test_fig11(benchmark):
+    rows = run_once(benchmark, fig11_speedups, preset=PRESET)
+    print()
+    print(render_fig11(rows))
+    for row in rows:
+        assert row.sw <= row.hw * 1.05, row.workload
+        assert row.hw <= row.ideal * 1.05, row.workload
+    hw = sum(r.hw for r in rows) / len(rows)
+    sw = sum(r.sw for r in rows) / len(rows)
+    assert hw > 1.5 * sw

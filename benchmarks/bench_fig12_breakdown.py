@@ -1,0 +1,25 @@
+"""Figure 12 — Busy/Sync/Mem breakdown normalized to Serial.
+
+Paper result: SW's extra instructions raise both Busy and Mem relative
+to HW; the dominating overhead of both schemes is Mem time.
+"""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import fig12_breakdown
+from repro.experiments.report import render_fig12
+from repro.types import Scenario
+
+
+def test_fig12(benchmark):
+    rows = run_once(benchmark, fig12_breakdown, preset=PRESET)
+    print()
+    print(render_fig12(rows))
+    by_key = {(r.workload, r.scenario): r for r in rows}
+    for name in ("Ocean", "P3m", "Adm", "Track"):
+        sw = by_key[(name, Scenario.SW)]
+        hw = by_key[(name, Scenario.HW)]
+        # The software scheme executes strictly more instructions.
+        assert sw.busy > hw.busy, name
+        # Both parallel schemes beat Serial on these (passing) loops.
+        assert sw.total < 1.0 and hw.total < 1.0, name

@@ -1,0 +1,26 @@
+"""Figure 14 — scalability from 8 to 16 processors (§6.3).
+
+Paper result: the software scheme's speedup curves saturate earlier
+than the hardware scheme's (P3m's SW even *drops* from 8 to 16
+processors), because the shadow zero-out and merge/analysis work per
+processor stays constant as the machine grows.
+"""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import fig14_scalability
+from repro.experiments.report import render_fig14
+
+
+def test_fig14(benchmark):
+    rows = run_once(benchmark, fig14_scalability, preset=PRESET)
+    print()
+    print(render_fig14(rows))
+    by_key = {(r.workload, r.num_processors): r for r in rows}
+    for name in ("P3m", "Adm", "Track"):
+        hw_gain = by_key[(name, 16)].hw / by_key[(name, 8)].hw
+        sw_gain = by_key[(name, 16)].sw / by_key[(name, 8)].sw
+        # HW scales at least as well as SW on every loop.
+        assert hw_gain >= sw_gain * 0.9, name
+        # HW keeps gaining from 8 to 16 processors.
+        assert hw_gain > 1.0, name

@@ -1,0 +1,73 @@
+"""Simulator throughput microbenchmarks (not a paper experiment).
+
+Measures the raw speed of the simulation substrate itself — simulated
+memory accesses per host second with and without the speculative
+protocol attached — so regressions in the hot paths show up.  Uses real
+pytest-benchmark rounds (unlike the figure benches, which run once).
+"""
+
+import pytest
+
+from repro.params import default_params
+from repro.sim.machine import Machine
+from repro.types import ProtocolKind
+
+N_ACCESSES = 2_000
+
+
+def drive_plain(machine, decl):
+    t = 0.0
+    for i in range(N_ACCESSES):
+        proc = i % machine.params.num_processors
+        machine.memsys.read(proc, decl.addr_of((i * 7) % decl.length), t)
+        t += 3.0
+    return t
+
+
+def test_throughput_plain_memory(benchmark):
+    def setup():
+        machine = Machine(default_params(8), with_speculation=False)
+        decl = machine.space.allocate("A", 16_384, elem_bytes=8)
+        return (machine, decl), {}
+
+    result = benchmark.pedantic(
+        lambda m, d: drive_plain(m, d), setup=setup, rounds=5
+    )
+
+
+def test_throughput_with_nonpriv_protocol(benchmark):
+    def setup():
+        machine = Machine(default_params(8))
+        decl = machine.space.allocate(
+            "A", 16_384, elem_bytes=8, protocol=ProtocolKind.NONPRIV
+        )
+        machine.spec.register_nonpriv(decl)
+        machine.spec.arm()
+        return (machine, decl), {}
+
+    def drive(machine, decl):
+        out = drive_plain(machine, decl)
+        machine.engine.drain()
+        assert not machine.spec.controller.failed
+        return out
+
+    benchmark.pedantic(drive, setup=setup, rounds=5)
+
+
+def test_throughput_event_engine(benchmark):
+    """Engine event dispatch cost: pure compute streams."""
+    from repro.trace.ops import compute
+
+    def setup():
+        machine = Machine(default_params(8), with_speculation=False)
+        machine.space.allocate("A", 64, elem_bytes=8)
+        return (machine,), {}
+
+    def drive(machine):
+        streams = {
+            p: iter([compute(10) for _ in range(500)])
+            for p in range(machine.params.num_processors)
+        }
+        machine.engine.run_phase(streams)
+
+    benchmark.pedantic(drive, setup=setup, rounds=3)

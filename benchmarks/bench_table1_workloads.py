@@ -1,0 +1,16 @@
+"""Table 1 — the §5.2 workload-characteristics summary."""
+
+from conftest import PRESET, run_once
+
+from repro.experiments.figures import table1_workloads
+from repro.experiments.report import render_table1
+
+
+def test_table1(benchmark):
+    rows = run_once(benchmark, table1_workloads, preset=PRESET)
+    print()
+    print(render_table1(rows))
+    by_name = {r.name: r for r in rows}
+    assert by_name["Ocean"].num_processors == 8
+    assert "privatization" in by_name["P3m"].algorithm
+    assert by_name["Track"].measured_marked_fraction < 0.44

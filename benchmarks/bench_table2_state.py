@@ -1,0 +1,25 @@
+"""Table 2 — per-element state cost of the tests, HW vs SW (§3.4).
+
+Paper claim: the hardware scheme needs less overhead state than the
+software scheme — max(2, 2+log2(P)) bits without read-in support (vs 3
+shadow time stamps) and max(two time stamps, 2+log2(P)) with it (vs 4).
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import table2_state
+from repro.experiments.report import render_table2
+
+
+def test_table2(benchmark):
+    rows = run_once(benchmark, table2_state)
+    print()
+    print(render_table2(rows))
+    for row in rows:
+        assert row.hw_bits < row.sw_bits
+    no_read_in = [r for r in rows if not r.read_in]
+    # Without read-in, HW state is 2 + log2(P) directory bits.
+    for row in no_read_in:
+        import math
+
+        assert row.hw_bits == 2 + math.ceil(math.log2(row.num_processors))

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper at the
+``quick`` preset (override with ``REPRO_PRESET=default`` or ``full``)
+and prints the rows it produced, so ``pytest benchmarks/
+--benchmark-only -s`` doubles as the evaluation reproduction.
+"""
+
+import os
+
+import pytest
+
+PRESET = os.environ.get("REPRO_PRESET", "quick")
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return PRESET
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a whole-figure generator exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

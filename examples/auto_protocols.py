@@ -1,0 +1,68 @@
+"""Automatic protocol selection — the compiler's job, automated.
+
+The paper assumes the compiler (or programmer) decides which run-time
+test each non-analyzable array gets (§2.2.2, §4.1).  The
+:mod:`repro.compilerfe` front end makes that decision from a profiled
+execution: read-only data is left alone, disjoint updates get the cheap
+non-privatization test, temporaries get the reduced privatization
+protocol, Figure-3 patterns get read-in/copy-out, and unclear cases
+fall back to the most general test.
+
+Run:  python examples/auto_protocols.py
+"""
+
+import numpy as np
+
+from repro.compilerfe import auto_speculative_run
+from repro.params import default_params
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.semantics import ConcreteLoop
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    n = 512
+    perm = rng.permutation(n)
+
+    # A loop with four very different arrays:
+    #   POS    — read-only input positions
+    #   OUT    — scattered per-iteration output (disjoint subscripts)
+    #   ACC    — a per-iteration accumulator scratchpad
+    #   HIST   — read-first then written later (needs read-in/copy-out)
+    def body(i, arrays):
+        j = int(perm[i])
+        x = arrays["POS"][j]
+        arrays["ACC"][0] = x * 2.0
+        arrays["ACC"][1] = arrays["ACC"][0] + 1.0
+        arrays["OUT"][j] = arrays["ACC"][1]
+        if i < 4:
+            _ = arrays["HIST"][i % 4]        # read-first (early iterations)
+        else:
+            arrays["HIST"][i % 4] = float(i)  # written later
+
+    loop = ConcreteLoop(
+        body,
+        iterations=64,
+        arrays={
+            "POS": rng.random(n),
+            "OUT": np.zeros(n),
+            "ACC": np.zeros(4),
+            "HIST": np.zeros(4),
+        },
+        live_out=("HIST",),
+    )
+    params = default_params(8)
+    config = RunConfig(
+        schedule=ScheduleSpec(SchedulePolicy.BLOCK_CYCLIC, 1, VirtualMode.CHUNK)
+    )
+    choices, outcome = auto_speculative_run(loop, params, config)
+
+    print("chosen protocols:")
+    for name, choice in sorted(choices.items()):
+        print(f"  {name:<5} -> {choice.protocol.value:<12} ({choice.reason})")
+    print(f"\nspeculation passed: {outcome.passed}")
+    print(f"simulated cycles:   {outcome.simulation.wall:,.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Early failure detection — the hardware scheme's headline feature.
+
+A loop that turns out to be serial costs the software LRPD test its
+*entire* parallel execution (the test only runs after the loop ends),
+while the hardware scheme aborts the moment the dependence occurs.
+This example injects a cross-iteration dependence at different points
+of a loop and shows the hardware abort latency tracking the dependence
+position while the software cost stays flat (paper §6.2 / ablation A3).
+
+Run:  python examples/failure_and_recovery.py
+"""
+
+from repro.params import default_params
+from repro.runtime import (
+    RunConfig,
+    SchedulePolicy,
+    ScheduleSpec,
+    VirtualMode,
+    run_hw,
+    run_serial,
+    run_sw,
+)
+from repro.workloads.synthetic import failing_loop
+
+ITERATIONS = 64
+
+
+def main() -> None:
+    params = default_params(num_processors=8)
+    hw_cfg = RunConfig(
+        schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK)
+    )
+    sw_cfg = RunConfig(
+        schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
+    )
+
+    print(f"loop of {ITERATIONS} iterations with one injected dependence; "
+          f"8 processors\n")
+    print(f"{'dep at iter':>11} {'HW abort@cycle':>15} {'HW total':>10} "
+          f"{'SW total':>10} {'Serial':>10}")
+    for position in (4, 12, 24, 40, 56):
+        loop = failing_loop(position, iterations=ITERATIONS, work_cycles=120)
+        serial = run_serial(loop, params)
+        hw = run_hw(loop, params, hw_cfg, serial_result=serial)
+        sw = run_sw(loop, params, sw_cfg, serial_result=serial)
+        assert not hw.passed and not sw.passed
+        print(f"{position:>11} {hw.detection_cycle:>15,.0f} "
+              f"{hw.wall:>10,.0f} {sw.wall:>10,.0f} {serial.wall:>10,.0f}")
+
+    print("\nthe hardware abort point follows the dependence position; the")
+    print("software scheme always pays the full speculative execution plus")
+    print("the marking/merging/analysis overhead before it can even know.")
+
+
+if __name__ == "__main__":
+    main()

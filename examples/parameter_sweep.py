@@ -1,0 +1,49 @@
+"""Parameter sweeps: machine and scheduling knobs in one API.
+
+Shows the generic sweep helper on two questions the ablation benches
+also answer: how directory contention erodes speedup, and how the
+dynamic block size trades scheduling overhead against load imbalance.
+
+Run:  python examples/parameter_sweep.py
+"""
+
+from repro.experiments.sweeps import format_sweep, sweep_config, sweep_machine
+from repro.params import default_params
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.types import Scenario
+from repro.workloads import P3mWorkload
+from repro.workloads.synthetic import parallel_nonpriv_loop
+
+
+def main() -> None:
+    # 1. Directory occupancy vs Ideal speedup on a parallel loop.
+    loop = parallel_nonpriv_loop(iterations=64, work_cycles=40)
+    points = sweep_machine(
+        loop,
+        "contention.directory_occupancy",
+        [0, 4, 8, 16, 32],
+        scenario=Scenario.IDEAL,
+        base_params=default_params(16),
+    )
+    print("directory occupancy vs Ideal speedup (16 processors)")
+    print(format_sweep(points, label="occupancy"))
+
+    # 2. Dynamic block size on the imbalanced P3m surrogate (HW scheme).
+    p3m = P3mWorkload(scale=0.06)
+    p3m_loop = next(p3m.executions(1))
+
+    def config(chunk: int) -> RunConfig:
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, chunk, VirtualMode.CHUNK)
+        )
+
+    points = sweep_config(
+        p3m_loop, config, [1, 2, 4, 8, 16],
+        scenario=Scenario.HW, params=default_params(16),
+    )
+    print("\ndynamic block size vs HW speedup on P3m (imbalanced)")
+    print(format_sweep(points, label="block size"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Observability: access traces, message logs, and their analysis.
+
+A production simulator needs to answer "why is this slow / why did this
+fail" — this package provides:
+
+* :class:`~repro.analysis.tracing.AccessTrace` — an opt-in record of
+  every simulated memory access (time, processor, address, hit level,
+  latency), attachable to a :class:`~repro.memsys.MemorySystem`;
+* :class:`~repro.analysis.tracing.MessageLog` — an opt-in record of the
+  speculative protocol messages (First_update, read-first signals, ...)
+  attachable to a :class:`~repro.core.context.ProtocolContext`;
+* :mod:`repro.analysis.summary` — aggregation into per-processor /
+  per-array / per-node summaries and ASCII reports.
+"""
+
+from .tracing import AccessRecord, AccessTrace, MessageLog, MessageRecord
+from .summary import (
+    ArrayTraffic,
+    TraceSummary,
+    format_summary,
+    summarize_trace,
+)
+
+__all__ = [
+    "AccessRecord",
+    "AccessTrace",
+    "ArrayTraffic",
+    "MessageLog",
+    "MessageRecord",
+    "TraceSummary",
+    "format_summary",
+    "summarize_trace",
+]

@@ -1,0 +1,101 @@
+"""Aggregation of access traces into human-readable summaries."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..address import AddressSpace
+from ..memsys.cache import HitLevel
+from ..types import AccessKind
+from .tracing import AccessTrace
+
+
+@dataclasses.dataclass
+class ArrayTraffic:
+    """Access counts of one array (or the anonymous remainder)."""
+
+    array: str
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    misses: int = 0
+    stall_cycles: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclasses.dataclass
+class TraceSummary:
+    """Whole-trace aggregation."""
+
+    total_accesses: int
+    per_array: Dict[str, ArrayTraffic]
+    per_proc_accesses: Dict[int, int]
+    dropped: int = 0
+
+    def hottest_arrays(self, limit: int = 5) -> List[ArrayTraffic]:
+        return sorted(
+            self.per_array.values(), key=lambda t: t.stall_cycles, reverse=True
+        )[:limit]
+
+
+def summarize_trace(trace: AccessTrace, space: AddressSpace) -> TraceSummary:
+    """Aggregate an access trace by array and processor."""
+    per_array: Dict[str, ArrayTraffic] = {}
+    per_proc: Dict[int, int] = {}
+    for record in trace:
+        decl = space.find(record.addr)
+        name = decl.name if decl is not None else "<unknown>"
+        traffic = per_array.get(name)
+        if traffic is None:
+            traffic = ArrayTraffic(name)
+            per_array[name] = traffic
+        if record.kind is AccessKind.READ:
+            traffic.reads += 1
+        else:
+            traffic.writes += 1
+        if record.level is HitLevel.L1:
+            traffic.l1_hits += 1
+        elif record.level is HitLevel.L2:
+            traffic.l2_hits += 1
+        else:
+            traffic.misses += 1
+        traffic.stall_cycles += max(0, record.latency - 1)
+        per_proc[record.proc] = per_proc.get(record.proc, 0) + 1
+    return TraceSummary(
+        total_accesses=len(trace),
+        per_array=per_array,
+        per_proc_accesses=per_proc,
+        dropped=trace.dropped,
+    )
+
+
+def format_summary(summary: TraceSummary, limit: int = 10) -> str:
+    """Render a summary as an aligned text table."""
+    lines = [
+        f"access trace: {summary.total_accesses} accesses"
+        + (f" ({summary.dropped} dropped)" if summary.dropped else ""),
+        f"{'array':<20} {'reads':>8} {'writes':>8} {'L1':>8} {'L2':>7} "
+        f"{'miss':>7} {'miss%':>6} {'stall cyc':>10}",
+        "-" * 78,
+    ]
+    ranked = sorted(
+        summary.per_array.values(), key=lambda t: t.accesses, reverse=True
+    )
+    for t in ranked[:limit]:
+        lines.append(
+            f"{t.array:<20} {t.reads:>8} {t.writes:>8} {t.l1_hits:>8} "
+            f"{t.l2_hits:>7} {t.misses:>7} {100 * t.miss_rate:>5.1f}% "
+            f"{t.stall_cycles:>10.0f}"
+        )
+    if len(ranked) > limit:
+        lines.append(f"... and {len(ranked) - limit} more arrays")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Opt-in traces of memory accesses and protocol messages."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Optional
+
+from ..memsys.cache import HitLevel
+from ..types import AccessKind
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRecord:
+    """One simulated memory access."""
+
+    time: float
+    proc: int
+    kind: AccessKind
+    addr: int
+    level: HitLevel
+    latency: int
+
+
+class AccessTrace:
+    """Bounded in-memory access trace.
+
+    Attach with :meth:`attach`; the memory system then appends a record
+    per access.  ``capacity`` bounds memory use — the oldest records are
+    dropped once exceeded (``dropped`` counts them).
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.capacity = capacity
+        self.records: List[AccessRecord] = []
+        self.dropped = 0
+
+    def append(self, record: AccessRecord) -> None:
+        if len(self.records) >= self.capacity:
+            # Drop the oldest half in one go (amortized O(1) per append).
+            drop = self.capacity // 2
+            del self.records[:drop]
+            self.dropped += drop
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[AccessRecord]:
+        return iter(self.records)
+
+    def attach(self, memsys) -> "AccessTrace":
+        """Start recording on ``memsys`` (a MemorySystem)."""
+        memsys.trace = self
+        return self
+
+    @staticmethod
+    def detach(memsys) -> None:
+        memsys.trace = None
+
+    def for_proc(self, proc: int) -> List[AccessRecord]:
+        return [r for r in self.records if r.proc == proc]
+
+    def misses(self) -> List[AccessRecord]:
+        return [r for r in self.records if r.level is HitLevel.MEMORY]
+
+
+@dataclasses.dataclass(frozen=True)
+class MessageRecord:
+    """One speculative-protocol message."""
+
+    time: float
+    label: str
+    proc: int
+    array: str
+    index: int
+
+
+class MessageLog:
+    """Record of the coherence-extension messages (Figs 6-9).
+
+    Attach to a :class:`~repro.core.context.ProtocolContext` via
+    ``ctx.message_log = log`` (or through
+    :meth:`repro.core.engine.SpeculationEngine`'s ``ctx``)."""
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.capacity = capacity
+        self.records: List[MessageRecord] = []
+        self.dropped = 0
+
+    def append(self, record: MessageRecord) -> None:
+        if len(self.records) >= self.capacity:
+            drop = self.capacity // 2
+            del self.records[:drop]
+            self.dropped += drop
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[MessageRecord]:
+        return iter(self.records)
+
+    def by_label(self) -> "dict[str, int]":
+        counts: dict = {}
+        for record in self.records:
+            counts[record.label] = counts.get(record.label, 0) + 1
+        return counts

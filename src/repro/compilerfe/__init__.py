@@ -1,0 +1,27 @@
+"""Compiler front-end: automatic protocol selection per array.
+
+The paper assumes a parallelizing compiler (Polaris) decides, per
+non-analyzable array, whether to apply the non-privatization test or to
+speculatively privatize it (§2.2.2: "The compiler or the programmer can
+use heuristics to decide whether or not the arrays should be
+privatized"), falling back to "the most general test, namely
+privatization with read-in and copy-out" when unsure (§4.1).
+
+:func:`choose_protocols` implements those heuristics over a *profiling
+trace* of the loop (one recorded execution — e.g. a previous serial
+run), and :func:`auto_concrete_loop` applies them to a
+:class:`~repro.semantics.ConcreteLoop` so users need not pick protocols
+by hand.
+"""
+
+from .heuristics import ArrayProfile, ProtocolChoice, choose_protocols, profile_loop
+from .frontend import auto_protocols, auto_speculative_run
+
+__all__ = [
+    "ArrayProfile",
+    "ProtocolChoice",
+    "auto_protocols",
+    "auto_speculative_run",
+    "choose_protocols",
+    "profile_loop",
+]

@@ -1,0 +1,63 @@
+"""Front-end glue: automatic protocol selection for concrete loops."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..params import MachineParams
+from ..runtime.driver import RunConfig
+from ..semantics.executor import Body, ConcreteLoop, ConcreteOutcome, speculative_run
+from ..types import ProtocolKind
+from .heuristics import ProtocolChoice, choose_protocols
+
+
+def auto_protocols(loop: ConcreteLoop) -> Dict[str, ProtocolChoice]:
+    """Profile one (scratch) execution and choose protocols per array.
+
+    Only arrays not already assigned a protocol by the caller are
+    decided, mirroring a compiler that respects user directives.
+    """
+    probe = ConcreteLoop(
+        body=loop.body,
+        iterations=loop.iterations,
+        arrays={k: v.copy() for k, v in loop.arrays.items()},
+        protocols=dict(loop.protocols),
+        live_out=loop.live_out,
+        work_cycles=loop.work_cycles,
+    )
+    traced = probe.trace()
+    undecided = [
+        spec.name for spec in traced.arrays
+        if spec.modified and spec.name not in loop.protocols
+    ]
+    return choose_protocols(traced, undecided)
+
+
+def auto_speculative_run(
+    loop: ConcreteLoop,
+    params: Optional[MachineParams] = None,
+    config: Optional[RunConfig] = None,
+) -> Tuple[Dict[str, ProtocolChoice], ConcreteOutcome]:
+    """Choose protocols automatically, then run speculatively.
+
+    Returns the (explainable) choices together with the outcome.  The
+    heuristics only pick *which* run-time test to apply — correctness is
+    still enforced by the test itself, so a profile that mispredicts the
+    real execution merely costs a failed speculation.
+    """
+    choices = auto_protocols(loop)
+    merged = dict(loop.protocols)
+    live_out = set(loop.live_out)
+    for name, choice in choices.items():
+        if choice.protocol is not ProtocolKind.PLAIN:
+            merged[name] = choice.protocol
+    decided = ConcreteLoop(
+        body=loop.body,
+        iterations=loop.iterations,
+        arrays=loop.arrays,
+        protocols=merged,
+        live_out=tuple(live_out),
+        work_cycles=loop.work_cycles,
+    )
+    outcome = speculative_run(decided, params, config)
+    return choices, outcome

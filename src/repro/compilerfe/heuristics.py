@@ -1,0 +1,165 @@
+"""Per-array access-pattern heuristics for protocol selection.
+
+Given one profiled execution of the loop, classify each modifiable
+array by its observed access pattern:
+
+* never accessed or never written → ``PLAIN`` (no test needed for
+  read-only data);
+* every read covered by a same-iteration write → the array behaves as a
+  temporary: speculatively privatize with the cheap reduced protocol
+  (``PRIV_SIMPLE``);
+* read-first iterations all precede the writes (Figure 3 patterns) →
+  privatize with read-in/copy-out (``PRIV``);
+* element sharing across iterations looks absent → the
+  non-privatization test (``NONPRIV``);
+* anything else → the most general test, ``PRIV`` (§4.1's fallback).
+
+The profile is a *heuristic input*, not a proof: the chosen protocol is
+still verified at run time — that is the whole point of the paper.  A
+misleading profile costs a failed speculation, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from ..trace.loop import Loop
+from ..trace.oracle import DependenceOracle
+from ..types import ProtocolKind
+from ..trace.ops import AccessOp
+
+
+@dataclasses.dataclass
+class ArrayProfile:
+    """Observed access behaviour of one array in a profiled execution."""
+
+    name: str
+    reads: int = 0
+    writes: int = 0
+    covered_reads: int = 0       # read after same-iteration write
+    read_first_reads: int = 0    # read before any same-iteration write
+    multi_iteration_elements: int = 0  # elements touched by >1 iteration
+    elements_touched: int = 0
+
+    @property
+    def written(self) -> bool:
+        return self.writes > 0
+
+    @property
+    def always_covered(self) -> bool:
+        return self.reads > 0 and self.read_first_reads == 0
+
+    @property
+    def write_only(self) -> bool:
+        return self.written and self.reads == 0
+
+
+@dataclasses.dataclass
+class ProtocolChoice:
+    """The selected protocol plus the reasoning, for explainability."""
+
+    name: str
+    protocol: ProtocolKind
+    reason: str
+    profile: Optional[ArrayProfile] = None
+
+
+def profile_loop(loop: Loop, arrays: Optional[List[str]] = None) -> Dict[str, ArrayProfile]:
+    """Gather per-array access facts from one execution's trace."""
+    selected = set(arrays) if arrays is not None else {a.name for a in loop.arrays}
+    profiles: Dict[str, ArrayProfile] = {
+        name: ArrayProfile(name) for name in selected
+    }
+    touched_by: Dict[str, Dict[int, set]] = {name: {} for name in selected}
+    for it_no, ops in enumerate(loop.iterations, start=1):
+        written_this_iter = set()
+        for op in ops:
+            if not isinstance(op, AccessOp) or op.array not in selected:
+                continue
+            profile = profiles[op.array]
+            key = (op.array, op.index)
+            touched_by[op.array].setdefault(op.index, set()).add(it_no)
+            if op.is_write:
+                profile.writes += 1
+                written_this_iter.add(key)
+            else:
+                profile.reads += 1
+                if key in written_this_iter:
+                    profile.covered_reads += 1
+                else:
+                    profile.read_first_reads += 1
+    for name, elements in touched_by.items():
+        profiles[name].elements_touched = len(elements)
+        profiles[name].multi_iteration_elements = sum(
+            1 for its in elements.values() if len(its) > 1
+        )
+    return profiles
+
+
+def choose_protocols(
+    loop: Loop, candidates: Optional[List[str]] = None
+) -> Dict[str, ProtocolChoice]:
+    """Pick a protocol for each candidate array (default: all modified
+    arrays the loop declares)."""
+    if candidates is None:
+        candidates = [a.name for a in loop.arrays if a.modified]
+    profiles = profile_loop(loop, candidates)
+    oracle = _rico_hints(loop, candidates)
+    choices: Dict[str, ProtocolChoice] = {}
+    for name in candidates:
+        profile = profiles[name]
+        if not profile.written:
+            choices[name] = ProtocolChoice(
+                name, ProtocolKind.PLAIN,
+                "never written in the profile: read-only data needs no test",
+                profile,
+            )
+        elif profile.multi_iteration_elements == 0:
+            # Cheapest test first: no private copies, data in place.
+            choices[name] = ProtocolChoice(
+                name, ProtocolKind.NONPRIV,
+                "no element shared across iterations in the profile: "
+                "use the non-privatization test",
+                profile,
+            )
+        elif profile.always_covered or profile.write_only:
+            choices[name] = ProtocolChoice(
+                name, ProtocolKind.PRIV_SIMPLE,
+                "every profiled read is covered by a same-iteration write: "
+                "temporary-like, privatize with the reduced protocol",
+                profile,
+            )
+        elif oracle.get(name, False):
+            choices[name] = ProtocolChoice(
+                name, ProtocolKind.PRIV,
+                "read-first iterations precede the writes (Figure 3 "
+                "pattern): privatize with read-in/copy-out",
+                profile,
+            )
+        else:
+            choices[name] = ProtocolChoice(
+                name, ProtocolKind.PRIV,
+                "pattern unclear: apply the most general test "
+                "(privatization with read-in and copy-out, §4.1)",
+                profile,
+            )
+    return choices
+
+
+def _rico_hints(loop: Loop, candidates: List[str]) -> Dict[str, bool]:
+    """Whether each array's profiled pattern is rico-parallel."""
+    # Reuse the oracle on a copy of the loop with candidates marked
+    # under test so per-array verdicts are produced.
+    probe_arrays = [
+        dataclasses.replace(a, protocol=ProtocolKind.PRIV)
+        if a.name in candidates
+        else a
+        for a in loop.arrays
+    ]
+    probe = Loop(loop.name + "#probe", probe_arrays, loop.iterations)
+    report = DependenceOracle(probe).analyze()
+    return {
+        name: verdict.is_priv_rico or verdict.is_privatizable or verdict.is_doall
+        for name, verdict in report.arrays.items()
+    }

@@ -1,0 +1,39 @@
+"""Hardware speculative run-time parallelization (the paper's §3 and §4).
+
+This package implements the paper's contribution: extensions to the
+cache coherence protocol that detect cross-iteration dependences on the
+fly during a speculative doall execution.
+
+* :mod:`repro.core.accessbits` — the per-element state of Figure 5
+  (cache-tag side and directory side, for both algorithms).
+* :mod:`repro.core.translation` — the translation table + dedicated
+  access-bit memory of Figure 10-(c).
+* :mod:`repro.core.nonpriv` — the non-privatization algorithm
+  (Figures 4, 6, 7) including the race-resolution transactions.
+* :mod:`repro.core.privatization` — the privatization algorithm with
+  read-in/copy-out (Figures 8, 9) and the reduced-state variant
+  (Figure 5-(b)).
+* :mod:`repro.core.engine` — :class:`SpeculationEngine`, which plugs the
+  protocols into :class:`repro.memsys.MemorySystem` and dispatches per
+  array under test.
+* :mod:`repro.core.controller` — arms/disarms speculation and records
+  the first FAIL, aborting the parallel execution.
+"""
+
+from .context import ProtocolContext, SpecStats
+from .controller import SpeculationController
+from .engine import SpeculationEngine
+from .messages import ImmediateScheduler, ManualScheduler, Scheduler
+from .translation import RangeEntry, TranslationTable
+
+__all__ = [
+    "ImmediateScheduler",
+    "ManualScheduler",
+    "ProtocolContext",
+    "RangeEntry",
+    "Scheduler",
+    "SpecStats",
+    "SpeculationController",
+    "SpeculationEngine",
+    "TranslationTable",
+]

@@ -1,0 +1,66 @@
+"""Deferred protocol messages and the scheduler interface.
+
+The paper's speculative extensions add a handful of transactions that
+do *not* stall the processor: ``First_update``, ``ROnly_update`` and
+``First_update_fail`` for the non-privatization algorithm (Figs 6/7),
+and the read-first / first-write signals of the privatization algorithm
+(Figs 8/9).  These travel with real network latency and are serialized
+at the target directory, which is exactly what makes the documented
+races possible.  The protocols post them through a tiny scheduler
+interface; the simulation engine implements it with its event heap, and
+unit tests can use :class:`ImmediateScheduler` or
+:class:`ManualScheduler` to control delivery order explicitly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+
+class Scheduler:
+    """Interface for posting deferred work.  See module docstring."""
+
+    def post(self, time: float, callback: Callable[[float], None]) -> None:
+        """Arrange for ``callback(time)`` to run at simulated ``time``."""
+        raise NotImplementedError
+
+
+class ImmediateScheduler(Scheduler):
+    """Delivers every message synchronously (no race window).
+
+    Useful for unit tests that check protocol end-state without caring
+    about message interleavings.
+    """
+
+    def post(self, time: float, callback: Callable[[float], None]) -> None:
+        callback(time)
+
+
+class ManualScheduler(Scheduler):
+    """Queues messages for explicit, test-controlled delivery."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[float], None]]] = []
+        self._seq = itertools.count()
+
+    def post(self, time: float, callback: Callable[[float], None]) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), callback))
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def deliver_next(self) -> bool:
+        """Deliver the earliest pending message; False when empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        callback(time)
+        return True
+
+    def deliver_all(self) -> int:
+        count = 0
+        while self.deliver_next():
+            count += 1
+        return count

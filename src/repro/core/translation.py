@@ -1,0 +1,113 @@
+"""Translation table: address ranges -> access-bit state (Fig 10-(c)).
+
+The hardware keeps the access bits in a dedicated memory next to each
+directory; a translation table, loaded at loop entry by a system call,
+maps a physical address to the corresponding bits.  Each entry holds an
+array's physical boundaries, its data type (element size) and a pointer
+to its access bits.  This module models that structure: it is also the
+address-range comparator of §4.1 that decides which protocol (plain,
+non-privatization, privatization) governs each access.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from typing import List, Optional, Tuple
+
+from ..address import ArrayDecl
+from ..errors import ConfigurationError
+from ..types import ProtocolKind
+
+
+@dataclasses.dataclass(frozen=True)
+class RangeEntry:
+    """One translation-table entry (one array under test)."""
+
+    decl: ArrayDecl
+    protocol: ProtocolKind
+    #: For privatization private copies: the owning processor.
+    owner_proc: Optional[int] = None
+    #: For private copies: the shared array they mirror.
+    shared_name: Optional[str] = None
+
+    @property
+    def base(self) -> int:
+        return self.decl.base
+
+    @property
+    def end(self) -> int:
+        return self.decl.end
+
+
+class TranslationTable:
+    """Sorted address-range comparator for the arrays under test."""
+
+    def __init__(self) -> None:
+        self._entries: List[RangeEntry] = []
+        self._bases: List[int] = []
+
+    def load(self, entry: RangeEntry) -> None:
+        """Register an array under test (the §4.1 'load the comparator'
+        system call).  Ranges must not overlap."""
+        pos = bisect.bisect_left(self._bases, entry.base)
+        if pos > 0 and self._entries[pos - 1].end > entry.base:
+            raise ConfigurationError(
+                f"range for {entry.decl.name!r} overlaps {self._entries[pos - 1].decl.name!r}"
+            )
+        if pos < len(self._entries) and entry.end > self._entries[pos].base:
+            raise ConfigurationError(
+                f"range for {entry.decl.name!r} overlaps {self._entries[pos].decl.name!r}"
+            )
+        self._entries.insert(pos, entry)
+        self._bases.insert(pos, entry.base)
+
+    def unload_all(self) -> None:
+        """The §4.1 'unload the comparator' system call."""
+        self._entries.clear()
+        self._bases.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> List[RangeEntry]:
+        return list(self._entries)
+
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> Optional[Tuple[RangeEntry, int]]:
+        """Map an address to its (entry, element index), or None."""
+        pos = bisect.bisect_right(self._bases, addr) - 1
+        if pos < 0:
+            return None
+        entry = self._entries[pos]
+        if addr >= entry.end:
+            return None
+        return entry, (addr - entry.base) // entry.decl.elem_bytes
+
+    def lookup_line(
+        self, line_addr: int, line_bytes: int
+    ) -> Optional[Tuple[RangeEntry, int, int]]:
+        """Map a cache line to (entry, first element index, element count).
+
+        Arrays are page-aligned and pages are line-multiples, so a line
+        belongs to at most one array.  The first/last line of an array
+        may only partially overlap it; the returned range is clipped.
+        """
+        # An element could start before line_addr and extend into the
+        # line only if elem_bytes > alignment; our elements are
+        # power-of-two sized and arrays are page aligned, so elements
+        # never straddle lines and the first element of the line starts
+        # at or after line_addr.
+        found = self.lookup(line_addr)
+        if found is None:
+            # The line may begin in the padding before an array that
+            # starts mid... arrays are page-aligned, so if line_addr is
+            # not inside an array, no later part of the line is either.
+            return None
+        entry, first = found
+        decl = entry.decl
+        span = line_bytes // decl.elem_bytes
+        count = min(span, decl.length - first)
+        if count <= 0:
+            return None
+        return entry, first, count

@@ -1,0 +1,35 @@
+"""Experiment harness: regenerates every table and figure of §6.
+
+* :mod:`repro.experiments.scenarios` — runs a workload under
+  Serial/Ideal/SW/HW and averages per-execution results (as §5.2 does).
+* :mod:`repro.experiments.figures` — the per-figure data generators
+  (Figure 11 speedups, Figure 12 breakdowns, Figure 13 failure costs,
+  Figure 14 scalability, plus the §5.2/§3.4 tables).
+* :mod:`repro.experiments.report` — plain-text rendering.
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments`` /
+  ``repro-experiments`` entry point.
+"""
+
+from .scenarios import ScenarioAverages, WorkloadResults, run_workload
+from .figures import (
+    fig11_speedups,
+    fig12_breakdown,
+    fig13_failure,
+    fig14_scalability,
+    table1_workloads,
+    table2_state,
+    table3_traffic,
+)
+
+__all__ = [
+    "ScenarioAverages",
+    "WorkloadResults",
+    "fig11_speedups",
+    "fig12_breakdown",
+    "fig13_failure",
+    "fig14_scalability",
+    "run_workload",
+    "table1_workloads",
+    "table2_state",
+    "table3_traffic",
+]

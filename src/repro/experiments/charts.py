@@ -1,0 +1,77 @@
+"""ASCII bar charts for the evaluation figures.
+
+The paper presents Figures 11-14 as bar charts; these helpers render
+comparable charts in plain text so the CLI output visually mirrors the
+paper.  ``#`` is Busy, ``+`` is Sync, ``.`` is Mem in stacked bars.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..types import Scenario
+from .figures import Fig11Row, Fig12Row, Fig14Row
+
+
+def hbar(value: float, unit: float, max_width: int = 48) -> str:
+    """A horizontal bar of ``value`` at ``unit`` per character."""
+    if unit <= 0:
+        return ""
+    return "#" * max(0, min(max_width, round(value / unit)))
+
+
+def stacked_bar(
+    parts: Sequence[float], unit: float, chars: str = "#+.", max_width: int = 60
+) -> str:
+    out = []
+    for value, ch in zip(parts, chars):
+        out.append(ch * max(0, round(value / unit)))
+    bar = "".join(out)
+    return bar[:max_width]
+
+
+def chart_fig11(rows: Sequence[Fig11Row], width: int = 40) -> str:
+    """Grouped speedup bars per loop (Ideal / HW / SW)."""
+    peak = max(max(r.ideal, r.hw, r.sw) for r in rows)
+    unit = peak / width
+    lines = ["Figure 11 (chart) — speedups", ""]
+    for r in rows:
+        lines.append(f"{r.workload} ({r.num_processors} procs)")
+        for label, value in (("Ideal", r.ideal), ("HW", r.hw), ("SW", r.sw)):
+            lines.append(f"  {label:<6} |{hbar(value, unit, width):<{width}}| {value:5.2f}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def chart_fig12(rows: Sequence[Fig12Row], width: int = 60) -> str:
+    """Stacked normalized-time bars (# busy, + sync, . mem)."""
+    unit = 1.0 / width  # Serial == full width
+    lines = [
+        "Figure 12 (chart) — time vs Serial  (# busy, + sync, . mem)",
+        "",
+    ]
+    last = None
+    for r in rows:
+        if last is not None and r.workload != last:
+            lines.append("")
+        last = r.workload
+        bar = stacked_bar((r.busy, r.sync, r.mem), unit, max_width=width + 15)
+        label = f"{r.workload}/{r.scenario.value}{r.num_processors}"
+        lines.append(f"  {label:<12} |{bar:<{width}}| {r.total:4.2f}")
+    return "\n".join(lines)
+
+
+def chart_fig14(rows: Sequence[Fig14Row], width: int = 40) -> str:
+    """Scalability: speedup bars at each processor count."""
+    peak = max(max(r.ideal, r.hw, r.sw) for r in rows)
+    unit = peak / width
+    lines = ["Figure 14 (chart) — scalability", ""]
+    last = None
+    for r in rows:
+        if last is not None and r.workload != last:
+            lines.append("")
+        last = r.workload
+        lines.append(f"{r.workload} @ {r.num_processors} processors")
+        for label, value in (("Ideal", r.ideal), ("HW", r.hw), ("SW", r.sw)):
+            lines.append(f"  {label:<6} |{hbar(value, unit, width):<{width}}| {value:5.2f}")
+    return "\n".join(lines)

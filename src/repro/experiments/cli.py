@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments all --preset quick
+    python -m repro.experiments fig11 fig13 --preset default
+    repro-experiments fig14 --preset quick --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from . import charts, claims, figures, report, serialize
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {}
+
+#: row producers for --json output
+ROW_PRODUCERS: Dict[str, Callable[[argparse.Namespace], list]] = {
+    "fig11": lambda a: figures.fig11_speedups(a.preset, seed=a.seed),
+    "fig12": lambda a: figures.fig12_breakdown(a.preset, seed=a.seed),
+    "fig13": lambda a: figures.fig13_failure(a.preset, seed=a.seed),
+    "fig14": lambda a: figures.fig14_scalability(a.preset, seed=a.seed),
+    "table1": lambda a: figures.table1_workloads(a.preset, seed=a.seed),
+    "table2": lambda a: figures.table2_state(),
+    "table3": lambda a: figures.table3_traffic(a.preset, seed=a.seed),
+}
+
+
+def _register(name: str):
+    def wrap(fn):
+        EXPERIMENTS[name] = fn
+        return fn
+
+    return wrap
+
+
+@_register("fig11")
+def _fig11(args) -> str:
+    rows = figures.fig11_speedups(args.preset, seed=args.seed)
+    text = report.render_fig11(rows)
+    if args.chart:
+        text += "\n\n" + charts.chart_fig11(rows)
+    return text
+
+
+@_register("fig12")
+def _fig12(args) -> str:
+    rows = figures.fig12_breakdown(args.preset, seed=args.seed)
+    text = report.render_fig12(rows)
+    if args.chart:
+        text += "\n\n" + charts.chart_fig12(rows)
+    return text
+
+
+@_register("fig13")
+def _fig13(args) -> str:
+    return report.render_fig13(figures.fig13_failure(args.preset, seed=args.seed))
+
+
+@_register("fig14")
+def _fig14(args) -> str:
+    rows = figures.fig14_scalability(args.preset, seed=args.seed)
+    text = report.render_fig14(rows)
+    if args.chart:
+        text += "\n\n" + charts.chart_fig14(rows)
+    return text
+
+
+@_register("table1")
+def _table1(args) -> str:
+    return report.render_table1(figures.table1_workloads(args.preset, seed=args.seed))
+
+
+@_register("table3")
+def _table3(args) -> str:
+    return report.render_table3(figures.table3_traffic(args.preset, seed=args.seed))
+
+
+@_register("verdict")
+def _verdict(args) -> str:
+    results = claims.evaluate_claims(args.preset, seed=args.seed)
+    return claims.render_verdict(results)
+
+
+@_register("table2")
+def _table2(args) -> str:
+    return report.render_table2(figures.table2_state())
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the evaluation of 'Hardware for Speculative "
+        "Run-Time Parallelization in DSMs' (HPCA 1998).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which tables/figures to regenerate",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=("quick", "default", "full"),
+        help="simulation size (quick for a fast look, default for the "
+        "EXPERIMENTS.md numbers, full for long runs)",
+    )
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="append ASCII bar charts to the figure tables",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON rows instead of tables",
+    )
+    args = parser.parse_args(argv)
+
+    chosen = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in chosen:
+        start = time.time()
+        if args.json:
+            if name not in ROW_PRODUCERS:
+                parser.error(f"{name} has no JSON row format")
+            text = serialize.rows_to_json(ROW_PRODUCERS[name](args))
+        else:
+            text = EXPERIMENTS[name](args)
+        elapsed = time.time() - start
+        print(text)
+        if not args.json:
+            print(f"[{name}: {elapsed:.1f}s, preset={args.preset}]")
+            print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""JSON-friendly serialization of results (for tooling and the CLI)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Sequence
+
+from ..runtime.driver import RunResult
+from ..types import Scenario
+from .figures import (Fig11Row, Fig12Row, Fig13Row, Fig14Row, Table1Row,
+                      Table2Row, Table3Row)
+from .scenarios import WorkloadResults
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Flatten a RunResult into plain JSON types."""
+    out: Dict[str, Any] = {
+        "scenario": result.scenario.value,
+        "loop": result.loop_name,
+        "num_processors": result.num_processors,
+        "passed": result.passed,
+        "wall_cycles": result.wall,
+        "breakdown": result.breakdown.as_dict(),
+        "phases": dict(result.phases),
+        "spec_messages": result.spec_messages,
+    }
+    if result.failure is not None:
+        out["failure"] = {
+            "reason": result.failure.reason,
+            "element": list(result.failure.element) if result.failure.element else None,
+            "detected_at": result.failure.detected_at,
+            "processor": result.failure.processor,
+            "iteration": result.failure.iteration,
+        }
+    if result.detection_cycle is not None:
+        out["detection_cycle"] = result.detection_cycle
+    if result.mem is not None:
+        out["mem"] = dataclasses.asdict(result.mem)
+    if result.lrpd is not None:
+        out["lrpd"] = {
+            "passed": result.lrpd.passed,
+            "failed_array": result.lrpd.failed_array,
+            "arrays": {
+                name: {
+                    "passed": a.passed,
+                    "decided_by": a.decided_by,
+                    "atw": a.atw,
+                    "atm": a.atm,
+                }
+                for name, a in result.lrpd.arrays.items()
+            },
+        }
+    return out
+
+
+def workload_results_to_dict(results: WorkloadResults) -> Dict[str, Any]:
+    return {
+        "workload": results.workload,
+        "num_processors": results.num_processors,
+        "scenarios": {
+            scenario.value: {
+                "wall_cycles": avg.wall,
+                "speedup": results.speedup(scenario),
+                "breakdown_vs_serial": results.normalized_breakdown(scenario).as_dict(),
+                "executions": avg.executions,
+                "failures": avg.failures,
+            }
+            for scenario, avg in results.scenarios.items()
+        },
+    }
+
+
+def rows_to_json(rows: Sequence[object], indent: int = 2) -> str:
+    """Serialize figure/table rows (dataclasses) to a JSON array."""
+    out: List[Dict[str, Any]] = []
+    for row in rows:
+        if isinstance(row, Fig11Row):
+            out.append(
+                {
+                    "workload": row.workload,
+                    "num_processors": row.num_processors,
+                    "ideal": row.ideal,
+                    "sw": row.sw,
+                    "hw": row.hw,
+                }
+            )
+        elif isinstance(row, (Fig12Row, Fig13Row)):
+            d = dataclasses.asdict(row)
+            d["scenario"] = row.scenario.value
+            if isinstance(row, Fig13Row):
+                d["breakdown"] = row.breakdown.as_dict()
+            out.append(d)
+        elif isinstance(row, (Fig14Row, Table1Row, Table2Row, Table3Row)):
+            out.append(dataclasses.asdict(row))
+        else:
+            raise TypeError(f"cannot serialize row type {type(row).__name__}")
+    return json.dumps(out, indent=indent)

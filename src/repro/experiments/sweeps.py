@@ -1,0 +1,128 @@
+"""Generic parameter sweeps over the scenario drivers.
+
+The ablation benches each hand-roll a loop over one knob; this module
+provides the general tool: sweep any machine parameter, cost-model
+field, or run-config knob across a set of values and collect one
+:class:`SweepPoint` per value.  Used programmatically and by the
+``sweep`` CLI verb.
+
+Example::
+
+    from repro.experiments.sweeps import sweep_machine
+    points = sweep_machine(
+        loop, "contention.directory_occupancy", [0, 8, 16, 32],
+        scenario=Scenario.IDEAL,
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..params import MachineParams, default_params
+from ..runtime.driver import (
+    RunConfig,
+    RunResult,
+    run_hw,
+    run_ideal,
+    run_serial,
+    run_sw,
+)
+from ..trace.loop import Loop
+from ..types import Scenario
+
+RUNNERS: Dict[Scenario, Callable[..., RunResult]] = {
+    Scenario.SERIAL: lambda loop, params, config: run_serial(loop, params, config),
+    Scenario.IDEAL: run_ideal,
+    Scenario.SW: run_sw,
+    Scenario.HW: run_hw,
+}
+
+
+@dataclasses.dataclass
+class SweepPoint:
+    """One sweep sample."""
+
+    value: Any
+    result: RunResult
+    serial_wall: Optional[float] = None
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.serial_wall is None:
+            return None
+        return self.serial_wall / self.result.wall
+
+
+def _replace_path(obj: Any, path: str, value: Any) -> Any:
+    """dataclasses.replace along a dotted field path (frozen-safe)."""
+    head, _, rest = path.partition(".")
+    if not hasattr(obj, head):
+        raise AttributeError(f"{type(obj).__name__} has no field {head!r}")
+    if rest:
+        inner = _replace_path(getattr(obj, head), rest, value)
+        return dataclasses.replace(obj, **{head: inner})
+    return dataclasses.replace(obj, **{head: value})
+
+
+def sweep_machine(
+    loop: Loop,
+    field_path: str,
+    values: Sequence[Any],
+    scenario: Scenario = Scenario.HW,
+    base_params: Optional[MachineParams] = None,
+    config: Optional[RunConfig] = None,
+    relative_to_serial: bool = True,
+) -> List[SweepPoint]:
+    """Sweep a (possibly nested) MachineParams field.
+
+    ``field_path`` is dotted, e.g. ``"contention.directory_occupancy"``
+    or ``"num_processors"``.  When ``relative_to_serial`` is set, each
+    point also runs the Serial scenario at the same parameters so
+    ``point.speedup`` is meaningful.
+    """
+    base = base_params or default_params()
+    config = config or RunConfig()
+    runner = RUNNERS[scenario]
+    points: List[SweepPoint] = []
+    for value in values:
+        params = _replace_path(base, field_path, value)
+        result = runner(loop, params, config)
+        serial_wall = None
+        if relative_to_serial and scenario is not Scenario.SERIAL:
+            serial_wall = run_serial(loop, params).wall
+        points.append(SweepPoint(value=value, result=result, serial_wall=serial_wall))
+    return points
+
+
+def sweep_config(
+    loop: Loop,
+    make_config: Callable[[Any], RunConfig],
+    values: Sequence[Any],
+    scenario: Scenario = Scenario.HW,
+    params: Optional[MachineParams] = None,
+) -> List[SweepPoint]:
+    """Sweep a RunConfig-valued knob (scheduling, chunk size, flags)."""
+    params = params or default_params()
+    runner = RUNNERS[scenario]
+    serial_wall = run_serial(loop, params).wall
+    points: List[SweepPoint] = []
+    for value in values:
+        result = runner(loop, params, make_config(value))
+        points.append(SweepPoint(value=value, result=result, serial_wall=serial_wall))
+    return points
+
+
+def format_sweep(points: Sequence[SweepPoint], label: str = "value") -> str:
+    lines = [
+        f"{label:>16} {'wall':>12} {'speedup':>8} {'passed':>7}",
+        "-" * 48,
+    ]
+    for p in points:
+        speedup = f"{p.speedup:.2f}" if p.speedup is not None else "-"
+        lines.append(
+            f"{str(p.value):>16} {p.result.wall:>12,.0f} {speedup:>8} "
+            f"{str(p.result.passed):>7}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,30 @@
+"""The software LRPD test (paper §2, after Rauchwerger & Padua).
+
+This is the baseline the hardware scheme is evaluated against: the loop
+is executed speculatively as a doall while *marking* shadow arrays
+(``Ar``/``Aw``/``Anp``), the per-processor private shadows are *merged*
+after the loop, and an *analysis* phase decides pass/fail:
+
+* FAIL if ``any(Aw & Ar)`` — an element was written in one iteration
+  and read (without being written) in another;
+* else PASS (doall) if ``Atw == Atm`` — no element written by two
+  iterations;
+* else FAIL if ``any(Aw & Anp)`` — an element was read before being
+  written, and written somewhere (not privatizable);
+* else PASS (doall after privatization).
+
+Both the *iteration-wise* and the *processor-wise* variants (§2.2.3)
+are implemented; the processor-wise test packs shadow entries into
+bitmaps but requires static chunked scheduling.
+
+The package has two halves: :class:`~repro.lrpd.shadow.LRPDState`
+carries the logical marking state (the actual algorithm, testable
+against the oracle), and the runtime's executor emits the corresponding
+shadow-array memory accesses so the *cost* of marking, merging and
+analysis is simulated through the same memory hierarchy as the data.
+"""
+
+from .shadow import LRPDState, ArrayShadow
+from .analysis import LRPDOutcome, analyze
+
+__all__ = ["ArrayShadow", "LRPDOutcome", "LRPDState", "analyze"]

@@ -1,0 +1,89 @@
+"""The LRPD analysis phase (paper §2.2.2 steps (a)-(e))."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .shadow import LRPDState, ShadowMergeResult
+
+
+@dataclasses.dataclass
+class ArrayAnalysis:
+    """Per-array outcome of the analysis phase."""
+
+    name: str
+    passed: bool
+    #: which test decided: "doall" (step c), "privatized" (step e),
+    #: "aw-and-ar" (step b), "not-privatizable" (step d)
+    decided_by: str
+    atw: int
+    atm: int
+
+
+@dataclasses.dataclass
+class LRPDOutcome:
+    """Loop-level outcome of the software test."""
+
+    passed: bool
+    arrays: Dict[str, ArrayAnalysis]
+    #: first failing array, if any
+    failed_array: Optional[str] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.passed
+
+
+def analyze_array(
+    name: str, merged: ShadowMergeResult, privatized: bool
+) -> ArrayAnalysis:
+    """Steps (a)-(e) for one array, plus the §2.2.3 read-in extension.
+
+    (a) ``Atm`` = number of non-zero write marks.
+    (b) FAIL if ``any(Aw & Ar)``.
+    (c) PASS (doall) if ``Atw == Atm``.
+    (d) FAIL if ``any(Aw & Anp)`` (only meaningful when privatized).
+    (e) PASS (privatized doall) otherwise.
+    (f) With the ``Awmin`` shadow array (§2.2.3): a FAIL from (b) or (d)
+        is excused when every read-first iteration of every element is
+        no later than the element's first writing iteration — the loop
+        is then parallel with read-in and copy-out.
+    """
+    atm = merged.atm
+    atw = merged.atw
+
+    def read_in_rescue(decided_by: str) -> ArrayAnalysis:
+        if privatized and merged.awmin is not None:
+            written = merged.aw != 0
+            read_first = merged.anp != 0
+            conflict = written & read_first & (merged.anp > merged.awmin)
+            if not bool(np.any(conflict)):
+                return ArrayAnalysis(name, True, "read-in-copy-out", atw, atm)
+        return ArrayAnalysis(name, False, decided_by, atw, atm)
+
+    if bool(np.any((merged.aw != 0) & (merged.ar != 0))):
+        return read_in_rescue("aw-and-ar")
+    if atw == atm:
+        return ArrayAnalysis(name, True, "doall", atw, atm)
+    if not privatized:
+        # Without privatization, multiple writers to one element are an
+        # output dependence the test cannot excuse.
+        return ArrayAnalysis(name, False, "not-privatizable", atw, atm)
+    if bool(np.any((merged.aw != 0) & (merged.anp != 0))):
+        return read_in_rescue("not-privatizable")
+    return ArrayAnalysis(name, True, "privatized", atw, atm)
+
+
+def analyze(state: LRPDState) -> LRPDOutcome:
+    """Merge every array's shadows and run the analysis tests."""
+    results: Dict[str, ArrayAnalysis] = {}
+    failed: Optional[str] = None
+    for name in state.arrays():
+        merged = state.merge(name)
+        result = analyze_array(name, merged, state.privatized[name])
+        results[name] = result
+        if not result.passed and failed is None:
+            failed = name
+    return LRPDOutcome(passed=failed is None, arrays=results, failed_array=failed)

@@ -1,0 +1,174 @@
+"""Logical shadow-array state for the software LRPD test.
+
+Each element of a shadow array conceptually holds the iteration number
+in which the mark was made (paper §2.2.2: "each element of the shadow
+arrays holds the iteration number where the read or write occurred...
+if we want to support loops of up to 2^16 iterations we need 2 bytes
+per element").  The processor-wise variant only needs one bit per
+element, packed 64 to a word (§2.2.3).
+
+The marking rules:
+
+* ``markwrite(i, t)``: set ``Aw[i]``; if ``Ar[i]`` was marked earlier in
+  the *same* iteration ``t``, clear it (the element turned out to be
+  written in the iteration after all, so condition (b)'s "neither
+  before nor after" no longer holds).  Count distinct elements written
+  per iteration into ``Atw``.
+* ``markread(i, t)``: if the element was not written earlier in
+  iteration ``t``: tentatively set ``Ar[i]`` and set ``Anp[i]``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+import numpy as np
+
+
+class ArrayShadow:
+    """Private shadow state of one (array, processor) pair.
+
+    Timestamps are 1-based iteration numbers; 0 means unmarked.
+    """
+
+    def __init__(self, length: int, with_awmin: bool = False) -> None:
+        self.length = length
+        self.aw = np.zeros(length, dtype=np.int64)
+        self.ar = np.zeros(length, dtype=np.int64)
+        self.anp = np.zeros(length, dtype=np.int64)
+        #: §2.2.3: the extra shadow array needed to support read-in and
+        #: copy-out — the lowest iteration that wrote each element
+        #: (0 = never written).
+        self.with_awmin = with_awmin
+        self.awmin = np.zeros(length, dtype=np.int64) if with_awmin else None
+        #: total writes counted iteration-by-iteration (the Atw scalar)
+        self.atw = 0
+
+    def clear(self) -> None:
+        self.aw.fill(0)
+        self.ar.fill(0)
+        self.anp.fill(0)
+        if self.awmin is not None:
+            self.awmin.fill(0)
+        self.atw = 0
+
+    # ------------------------------------------------------------------
+    def markwrite(self, index: int, iteration: int) -> None:
+        if int(self.aw[index]) != iteration:
+            # First write to this element in this iteration.
+            self.atw += 1
+            self.aw[index] = iteration
+            if self.awmin is not None and (
+                int(self.awmin[index]) == 0 or iteration < int(self.awmin[index])
+            ):
+                self.awmin[index] = iteration
+        if int(self.ar[index]) == iteration:
+            # A read earlier in this same iteration is now covered
+            # "after": Ar must reflect "not written in this iteration
+            # neither before nor after".
+            self.ar[index] = 0
+
+    def markread(self, index: int, iteration: int) -> None:
+        if int(self.aw[index]) != iteration:
+            # Not written earlier in this iteration.  Ar is only set when
+            # currently unmarked: an older iteration's (final) mark must
+            # not be overwritten by this iteration's *tentative* mark,
+            # which a later same-iteration write would clear.
+            if int(self.ar[index]) == 0:
+                self.ar[index] = iteration
+            self.anp[index] = iteration
+
+    def written_in(self, index: int, iteration: int) -> bool:
+        return int(self.aw[index]) == iteration
+
+    def ever_written(self, index: int) -> bool:
+        return bool(self.aw[index])
+
+
+@dataclasses.dataclass
+class ShadowMergeResult:
+    """Merged (global) shadow marks for one array.
+
+    ``anp`` carries per-element *maximum* read-before-write iteration
+    numbers and ``awmin`` (when the §2.2.3 extension is enabled) the
+    per-element *minimum* writing iteration — together they answer the
+    read-in/copy-out question ``max(Anp) <= Awmin``.
+    """
+
+    aw: np.ndarray
+    ar: np.ndarray
+    anp: np.ndarray
+    atw: int
+    awmin: "np.ndarray | None" = None
+
+    @property
+    def atm(self) -> int:
+        """Number of distinct elements written anywhere (Atm)."""
+        return int(np.count_nonzero(self.aw))
+
+
+class LRPDState:
+    """All shadow state of one speculative software execution.
+
+    One :class:`ArrayShadow` exists per (array under test, processor).
+    The same structure implements the iteration-wise test (marks carry
+    iteration numbers) and the processor-wise test (marks carry the
+    processor's super-iteration number, i.e. its chunk rank).
+    """
+
+    def __init__(self, num_processors: int, with_awmin: bool = False) -> None:
+        self.num_processors = num_processors
+        self.with_awmin = with_awmin
+        self._shadows: Dict[str, List[ArrayShadow]] = {}
+        #: whether each array was speculatively privatized by the compiler
+        self.privatized: Dict[str, bool] = {}
+
+    def register(self, name: str, length: int, privatized: bool) -> None:
+        self._shadows[name] = [
+            ArrayShadow(length, with_awmin=self.with_awmin)
+            for _ in range(self.num_processors)
+        ]
+        self.privatized[name] = privatized
+
+    def arrays(self) -> List[str]:
+        return list(self._shadows)
+
+    def shadow(self, name: str, proc: int) -> ArrayShadow:
+        return self._shadows[name][proc]
+
+    def clear(self) -> None:
+        for shadows in self._shadows.values():
+            for shadow in shadows:
+                shadow.clear()
+
+    # ------------------------------------------------------------------
+    def merge(self, name: str) -> ShadowMergeResult:
+        """The merging phase: OR the private shadows into global ones.
+
+        For timestamp shadows the merged mark only needs to be non-zero
+        where any private mark is (the analysis tests are existential).
+        """
+        shadows = self._shadows[name]
+        length = shadows[0].length
+        aw = np.zeros(length, dtype=np.int64)
+        ar = np.zeros(length, dtype=np.int64)
+        anp = np.zeros(length, dtype=np.int64)
+        awmin = np.zeros(length, dtype=np.int64) if self.with_awmin else None
+        atw = 0
+        for shadow in shadows:
+            np.maximum(aw, shadow.aw, out=aw)
+            np.maximum(ar, shadow.ar, out=ar)
+            np.maximum(anp, shadow.anp, out=anp)
+            if awmin is not None and shadow.awmin is not None:
+                # Minimum over non-zero (marked) entries.
+                mask = shadow.awmin != 0
+                unset = awmin == 0
+                np.copyto(awmin, shadow.awmin, where=mask & unset)
+                np.minimum(
+                    awmin,
+                    np.where(mask, shadow.awmin, awmin),
+                    out=awmin,
+                )
+            atw += shadow.atw
+        return ShadowMergeResult(aw=aw, ar=ar, anp=anp, atw=atw, awmin=awmin)

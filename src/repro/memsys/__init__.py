@@ -1,0 +1,27 @@
+"""CC-NUMA memory-system substrate.
+
+Models the machine of paper §5.1: per-processor direct-mapped primary
+and secondary caches with 64-byte lines, a full-map directory per node,
+a DASH-like invalidation protocol, NUMA latencies, and contention
+(occupancy-based queueing) everywhere except the constant-latency
+network.  The speculation protocols of :mod:`repro.core` plug into this
+layer through the :class:`repro.memsys.system.SpeculationHooks`
+interface.
+"""
+
+from .line import CacheLine
+from .cache import DirectMappedCache, CacheHierarchy, HitLevel
+from .directory import Directory, DirectoryEntry
+from .system import AccessResult, MemorySystem, SpeculationHooks
+
+__all__ = [
+    "CacheLine",
+    "DirectMappedCache",
+    "CacheHierarchy",
+    "HitLevel",
+    "Directory",
+    "DirectoryEntry",
+    "AccessResult",
+    "MemorySystem",
+    "SpeculationHooks",
+]

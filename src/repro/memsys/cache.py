@@ -1,0 +1,157 @@
+"""Direct-mapped caches and the two-level per-processor hierarchy."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..params import CacheGeometry
+from ..types import LineState
+from .line import CacheLine
+
+
+class HitLevel(enum.Enum):
+    """Where an access was satisfied."""
+
+    L1 = "l1"
+    L2 = "l2"
+    MEMORY = "memory"
+
+
+class DirectMappedCache:
+    """A set-associative cache indexed by line address (LRU per set).
+
+    The name is historical: with the default ``ways=1`` geometry this
+    is exactly the paper's direct-mapped cache.  Each set keeps its
+    lines in LRU order (index 0 = most recently used).
+    """
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self.geometry = geometry
+        # Sets are allocated lazily: large caches are mostly empty in
+        # short simulations, and a fresh machine is built per run.
+        self._sets: Dict[int, List[CacheLine]] = {}
+
+    def _set_of(self, line_addr: int) -> List[CacheLine]:
+        index = (line_addr // self.geometry.line_bytes) % self.geometry.num_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = []
+            self._sets[index] = ways
+        return ways
+
+    def lookup(self, line_addr: int) -> Optional[CacheLine]:
+        ways = self._set_of(line_addr)
+        for i, line in enumerate(ways):
+            if line.line_addr == line_addr:
+                if i:
+                    ways.insert(0, ways.pop(i))  # LRU bump
+                return line
+        return None
+
+    def insert(self, line: CacheLine) -> Optional[CacheLine]:
+        """Install ``line``; return the evicted victim, if any."""
+        ways = self._set_of(line.line_addr)
+        for i, resident in enumerate(ways):
+            if resident.line_addr == line.line_addr:
+                ways.pop(i)
+                ways.insert(0, line)
+                return None
+        ways.insert(0, line)
+        if len(ways) > self.geometry.ways:
+            return ways.pop()  # LRU victim
+        return None
+
+    def remove(self, line_addr: int) -> Optional[CacheLine]:
+        ways = self._set_of(line_addr)
+        for i, line in enumerate(ways):
+            if line.line_addr == line_addr:
+                return ways.pop(i)
+        return None
+
+    def flush(self) -> List[CacheLine]:
+        """Drop everything; return the dirty victims (for writeback)."""
+        dirty = [
+            line for ways in self._sets.values() for line in ways if line.dirty
+        ]
+        self._sets = {}
+        return dirty
+
+    def resident_lines(self) -> Iterator[CacheLine]:
+        for ways in self._sets.values():
+            for line in ways:
+                yield line
+
+
+@dataclasses.dataclass
+class FillResult:
+    """Outcome of installing a line into the hierarchy."""
+
+    line: CacheLine
+    # Dirty line pushed out of the L2 (must be written back to its home).
+    writeback: Optional[CacheLine] = None
+    # Clean line silently dropped from the L2 (replacement hint).
+    dropped: Optional[CacheLine] = None
+
+
+class CacheHierarchy:
+    """Inclusive L1 + L2 pair belonging to one processor.
+
+    The L1 mirrors a subset of the L2; coherence state is kept
+    consistent between the two (a write marks both levels DIRTY).  The
+    directory tracks presence at the processor granularity, so an
+    L1-only eviction is invisible outside this class.
+    """
+
+    def __init__(self, l1_geometry: CacheGeometry, l2_geometry: CacheGeometry) -> None:
+        self.l1 = DirectMappedCache(l1_geometry)
+        self.l2 = DirectMappedCache(l2_geometry)
+
+    # ------------------------------------------------------------------
+    def probe(self, line_addr: int) -> Tuple[HitLevel, Optional[CacheLine]]:
+        """Find a line without changing any state."""
+        line = self.l1.lookup(line_addr)
+        if line is not None:
+            return HitLevel.L1, line
+        line = self.l2.lookup(line_addr)
+        if line is not None:
+            return HitLevel.L2, line
+        return HitLevel.MEMORY, None
+
+    def promote_to_l1(self, line: CacheLine) -> None:
+        """After an L2 hit, install the (shared) line object in the L1.
+
+        The same :class:`CacheLine` object lives in both levels, which
+        keeps their state and access bits trivially coherent — a
+        modeling convenience standing in for the real write-through of
+        tag state between levels (paper §4.2).
+        """
+        victim = self.l1.insert(line)
+        # Inclusive: the victim still lives in the L2 (same object), so
+        # nothing else to do even if it was dirty.
+        del victim
+
+    def fill(self, line: CacheLine) -> FillResult:
+        """Install a freshly fetched line in both levels."""
+        result = FillResult(line=line)
+        l2_victim = self.l2.insert(line)
+        if l2_victim is not None:
+            # Inclusion: purge from L1 as well.
+            self.l1.remove(l2_victim.line_addr)
+            if l2_victim.dirty:
+                result.writeback = l2_victim
+            else:
+                result.dropped = l2_victim
+        self.l1.insert(line)
+        return result
+
+    def invalidate(self, line_addr: int) -> Optional[CacheLine]:
+        """Remove a line at both levels; return it if it was present."""
+        self.l1.remove(line_addr)
+        return self.l2.remove(line_addr)
+
+    def flush(self) -> List[CacheLine]:
+        """Empty both levels; return dirty lines needing writeback."""
+        self.l1.flush()
+        return self.l2.flush()

@@ -1,0 +1,82 @@
+"""Per-node full-map directory with an occupancy-based contention model."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Set
+
+from ..types import DirState
+
+
+@dataclasses.dataclass
+class DirectoryEntry:
+    """Directory state for one memory line."""
+
+    state: DirState = DirState.UNCACHED
+    owner: Optional[int] = None
+    sharers: Set[int] = dataclasses.field(default_factory=set)
+
+    def reset(self) -> None:
+        self.state = DirState.UNCACHED
+        self.owner = None
+        self.sharers.clear()
+
+
+class Directory:
+    """The directory (plus memory module) of one NUMA node.
+
+    All transactions touching a line homed here serialize at this
+    object, matching the paper's protocol argument ("all transactions
+    directed to the same cache line are serialized in the corresponding
+    directory").  Serialization is provided by the simulation engine's
+    global time order; this class additionally models *occupancy*: each
+    transaction holds the directory for a fixed window, and overlapping
+    transactions queue, producing contention delay.
+    """
+
+    def __init__(self, node_id: int, occupancy_cycles: int, enabled: bool = True):
+        self.node_id = node_id
+        self.occupancy_cycles = occupancy_cycles
+        self.contention_enabled = enabled
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self._busy_until: float = 0
+        # Statistics
+        self.transactions = 0
+        self.queueing_cycles = 0
+
+    # ------------------------------------------------------------------
+    def entry(self, line_addr: int) -> DirectoryEntry:
+        ent = self._entries.get(line_addr)
+        if ent is None:
+            ent = DirectoryEntry()
+            self._entries[line_addr] = ent
+        return ent
+
+    def peek(self, line_addr: int) -> Optional[DirectoryEntry]:
+        return self._entries.get(line_addr)
+
+    # ------------------------------------------------------------------
+    def occupy(self, arrival_time: float, cycles: "int | None" = None) -> int:
+        """Reserve the directory for one transaction.
+
+        Returns the queueing delay suffered (0 when the directory was
+        idle at ``arrival_time``).  The transaction then holds the
+        directory for ``cycles`` (default: the configured occupancy).
+        """
+        self.transactions += 1
+        if not self.contention_enabled:
+            return 0
+        hold = self.occupancy_cycles if cycles is None else cycles
+        start = max(arrival_time, self._busy_until)
+        delay = int(start - arrival_time)
+        self._busy_until = start + hold
+        self.queueing_cycles += delay
+        return delay
+
+    def reset_contention(self) -> None:
+        self._busy_until = 0
+
+    def reset_all(self) -> None:
+        """Forget all sharing state (used when caches are flushed)."""
+        self._entries.clear()
+        self._busy_until = 0

@@ -1,0 +1,471 @@
+"""The memory system: caches + directories + DASH-like coherence.
+
+One :class:`MemorySystem` owns every processor's cache hierarchy and
+every node's directory, and serves all simulated memory accesses.  The
+coherence protocol is a full-map invalidation protocol in the style of
+DASH (paper §5.1):
+
+* cache states INVALID / CLEAN(shared) / DIRTY(exclusive-modified);
+* directory states UNCACHED / SHARED(sharer set) / DIRTY(owner);
+* read misses are 2-hop (home has the data) or 3-hop (home forwards to
+  a dirty owner, which writes back);
+* writes invalidate sharers or pull the line from a dirty owner;
+* dirty replacements write back to the home.
+
+Speculative run-time parallelization (paper §3) plugs in through
+:class:`SpeculationHooks`: the hardware access-bit logic is invoked on
+cache hits (tag-side test logic, Fig 10-(a)), on directory transactions
+(Fig 10-(c)), and whenever a dirty line's per-word tag state must be
+merged back into the directory (Figs 6-(e)).
+
+Timing model: transactions are timed from the latency table of §5.1
+plus queueing at the home directory (occupancy window).  State changes
+apply at issue time, which keeps the protocol race-free at the data
+level while the *speculative* messages — which the paper allows to race
+— are delivered as deferred events by the speculation engine itself.
+Writes are non-blocking through a finite write buffer; reads stall.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from ..address import AddressSpace
+from ..params import MachineParams
+from ..types import AccessKind, DirState, LineState
+from .cache import CacheHierarchy, HitLevel
+from .directory import Directory
+from .line import CacheLine
+
+
+class SpeculationHooks:
+    """Interface the speculation engine implements (all optional).
+
+    The default implementations are no-ops so a :class:`MemorySystem`
+    without speculation behaves as a plain CC-NUMA machine.
+    """
+
+    def on_cache_hit(
+        self, proc: int, line: CacheLine, addr: int, kind: AccessKind, now: float
+    ) -> None:
+        """Tag-side test logic on an L1/L2 hit (Figs 6-(a), 6-(c), 8-(a), 9-(f))."""
+
+    def on_dir_access(
+        self, proc: int, line_addr: int, addr: int, kind: AccessKind, now: float
+    ) -> int:
+        """Directory-side logic when home processes a fetch/upgrade.
+
+        Returns extra latency cycles (e.g. a privatization read-in that
+        must consult the shared array's home, Figs 8-(c)/9-(h)).
+        """
+        return 0
+
+    def fill_line_bits(self, proc: int, line: CacheLine, now: float) -> None:
+        """Copy directory access-bit state into the tags of a fetched line."""
+
+    def on_writeback(self, proc: int, line: CacheLine, now: float) -> None:
+        """Merge a dirty line's tag state into the directory (Fig 6-(e))."""
+
+
+@dataclasses.dataclass
+class AccessResult:
+    """Timing outcome of one simulated access."""
+
+    issue_cycles: int  # cycles the processor is busy issuing (>=1)
+    stall_cycles: int  # cycles the processor stalls on memory
+    hit_level: HitLevel
+
+    @property
+    def total(self) -> int:
+        return self.issue_cycles + self.stall_cycles
+
+
+@dataclasses.dataclass
+class MemStats:
+    """Aggregate memory-system statistics."""
+
+    reads: int = 0
+    writes: int = 0
+    l1_hits: int = 0
+    l2_hits: int = 0
+    local_misses: int = 0
+    remote_2hop: int = 0
+    remote_3hop: int = 0
+    invalidations: int = 0
+    writebacks: int = 0
+    write_stall_cycles: int = 0
+    read_stall_cycles: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.local_misses + self.remote_2hop + self.remote_3hop
+
+
+class _WriteBuffer:
+    """Finite write buffer: writes retire asynchronously."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._pending: List[Tuple[float, int]] = []  # (completion, line_addr)
+
+    def drain(self, now: float) -> None:
+        self._pending = [p for p in self._pending if p[0] > now]
+
+    def stall_for_slot(self, now: float) -> float:
+        """Cycles to wait for a free entry."""
+        self.drain(now)
+        if len(self._pending) < self.capacity:
+            return 0.0
+        oldest = min(p[0] for p in self._pending)
+        return max(0.0, oldest - now)
+
+    def push(self, completion: float, line_addr: int) -> None:
+        self._pending.append((completion, line_addr))
+
+    def conflict(self, now: float, line_addr: int) -> float:
+        """Cycles a read of ``line_addr`` must wait for a pending write."""
+        self.drain(now)
+        times = [c for (c, la) in self._pending if la == line_addr]
+        if not times:
+            return 0.0
+        return max(0.0, max(times) - now)
+
+    def flush_time(self, now: float) -> float:
+        self.drain(now)
+        if not self._pending:
+            return 0.0
+        return max(0.0, max(c for c, _ in self._pending) - now)
+
+
+class MemorySystem:
+    """All caches and directories of the machine, plus the protocol."""
+
+    def __init__(
+        self,
+        params: MachineParams,
+        address_space: AddressSpace,
+        hooks: Optional[SpeculationHooks] = None,
+    ) -> None:
+        self.params = params
+        self.space = address_space
+        self.hooks = hooks or SpeculationHooks()
+        self.caches: List[CacheHierarchy] = [
+            CacheHierarchy(params.l1, params.l2) for _ in range(params.num_processors)
+        ]
+        self.directories: List[Directory] = [
+            Directory(
+                node,
+                params.contention.directory_occupancy,
+                params.contention.enabled,
+            )
+            for node in range(params.num_nodes)
+        ]
+        self.write_buffers: List[_WriteBuffer] = [
+            _WriteBuffer(params.write_buffer_entries)
+            for _ in range(params.num_processors)
+        ]
+        self.stats = MemStats()
+        #: optional access trace (see repro.analysis.tracing.AccessTrace)
+        self.trace = None
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def node_of(self, proc: int) -> int:
+        return self.params.node_of_processor(proc)
+
+    def home_of(self, line_addr: int) -> Directory:
+        return self.directories[self.space.home_node(line_addr)]
+
+    def set_hooks(self, hooks: Optional[SpeculationHooks]) -> None:
+        self.hooks = hooks or SpeculationHooks()
+
+    # ------------------------------------------------------------------
+    # Public access API
+    # ------------------------------------------------------------------
+    def read(self, proc: int, addr: int, now: float) -> AccessResult:
+        """Simulate a load.  The processor stalls for the returned time."""
+        self.stats.reads += 1
+        lat = self.params.latency
+        line_addr = self.space.line_addr(addr)
+        wb_stall = self.write_buffers[proc].conflict(now, line_addr)
+        now = now + wb_stall
+
+        level, line = self.caches[proc].probe(line_addr)
+        if line is not None:
+            if level is HitLevel.L1:
+                self.stats.l1_hits += 1
+                base = lat.l1_hit
+            else:
+                self.stats.l2_hits += 1
+                base = lat.l2_hit
+                self.caches[proc].promote_to_l1(line)
+            self.hooks.on_cache_hit(proc, line, addr, AccessKind.READ, now)
+            stall = int(wb_stall) + (base - 1)
+            self.stats.read_stall_cycles += stall
+            result = AccessResult(1, stall, level)
+            self._trace(now, proc, AccessKind.READ, addr, result)
+            return result
+
+        latency = self._fetch(proc, line_addr, addr, AccessKind.READ, now)
+        stall = int(wb_stall) + (latency - 1)
+        self.stats.read_stall_cycles += stall
+        result = AccessResult(1, stall, HitLevel.MEMORY)
+        self._trace(now, proc, AccessKind.READ, addr, result)
+        return result
+
+    def write(self, proc: int, addr: int, now: float) -> AccessResult:
+        """Simulate a store.  Non-blocking via the write buffer."""
+        self.stats.writes += 1
+        lat = self.params.latency
+        line_addr = self.space.line_addr(addr)
+
+        level, line = self.caches[proc].probe(line_addr)
+        if line is not None and line.state is LineState.DIRTY:
+            # Write hit on an exclusive line: purely local (Fig 6-(c)
+            # dirty branch: tags updated, "no need to tell directory").
+            if level is HitLevel.L2:
+                self.caches[proc].promote_to_l1(line)
+                self.stats.l2_hits += 1
+                base = lat.l2_hit
+            else:
+                self.stats.l1_hits += 1
+                base = lat.l1_hit
+            self.hooks.on_cache_hit(proc, line, addr, AccessKind.WRITE, now)
+            result = AccessResult(1, base - 1, level)
+            self._trace(now, proc, AccessKind.WRITE, addr, result)
+            return result
+
+        # Needs a coherence transaction: upgrade (line CLEAN here) or a
+        # fetch-exclusive (miss).  Non-blocking: the processor pays only
+        # the issue cost plus any write-buffer-full stall.
+        buf = self.write_buffers[proc]
+        slot_stall = buf.stall_for_slot(now)
+        start = now + slot_stall
+
+        if line is not None:
+            # Upgrade: CLEAN -> DIRTY via home (Fig 6-(c) clean branch).
+            # The tag-side test logic runs first, then the write request
+            # travels to the home where the directory-side check runs.
+            if level is HitLevel.L2:
+                self.caches[proc].promote_to_l1(line)
+            self.hooks.on_cache_hit(proc, line, addr, AccessKind.WRITE, now)
+            latency = self._upgrade(proc, line, addr, start)
+            hit = level
+            if level is HitLevel.L1:
+                self.stats.l1_hits += 1
+            else:
+                self.stats.l2_hits += 1
+        else:
+            latency = self._fetch(proc, line_addr, addr, AccessKind.WRITE, start)
+            hit = HitLevel.MEMORY
+
+        buf.push(start + latency, line_addr)
+        self.stats.write_stall_cycles += int(slot_stall)
+        result = AccessResult(1, int(slot_stall), hit)
+        self._trace(now, proc, AccessKind.WRITE, addr, result)
+        return result
+
+    def _trace(self, now, proc, kind, addr, result) -> None:
+        if self.trace is not None:
+            from ..analysis.tracing import AccessRecord
+
+            self.trace.append(
+                AccessRecord(now, proc, kind, addr, result.hit_level, result.total)
+            )
+
+    def drain_write_buffer(self, proc: int, now: float) -> float:
+        """Cycles until all of ``proc``'s pending writes retire.
+
+        Used at barriers and at loop end (release consistency fence).
+        """
+        return self.write_buffers[proc].flush_time(now)
+
+    # ------------------------------------------------------------------
+    # Coherence transactions
+    # ------------------------------------------------------------------
+    def _fetch(
+        self, proc: int, line_addr: int, addr: int, kind: AccessKind, now: float
+    ) -> int:
+        """Miss: obtain the line from its home (and owner, if dirty)."""
+        lat = self.params.latency
+        home_node = self.space.home_node(line_addr)
+        local = home_node == self.node_of(proc)
+        base = lat.local_mem if local else lat.remote_2hop
+        arrival = now + (0 if local else lat.network_one_way)
+        queue = self.home_of(line_addr).occupy(arrival)
+
+        entry = self.home_of(line_addr).entry(line_addr)
+        extra = 0
+        if entry.state is DirState.DIRTY and entry.owner is not None:
+            if entry.owner != proc:
+                # Forward to the dirty owner, which supplies the line and
+                # writes back.  A true 3-hop only when the owner sits on
+                # another node; a same-node owner is a (cheaper)
+                # cache-to-cache transfer within the node.
+                owner_remote = self.node_of(entry.owner) != self.node_of(proc)
+                extra += self._recall_owner(
+                    entry.owner,
+                    line_addr,
+                    now,
+                    invalidate=(kind is AccessKind.WRITE),
+                )
+                if kind is AccessKind.READ:
+                    entry.state = DirState.SHARED
+                    entry.sharers = {entry.owner}
+                    entry.owner = None
+                else:
+                    entry.reset()
+                if owner_remote:
+                    self.stats.remote_3hop += 1
+                    if local:
+                        extra += lat.dirty_forward  # two extra messages
+                    else:
+                        base = lat.remote_3hop
+                else:
+                    self._count_miss(local)
+                    extra += lat.dirty_forward // 2  # intra-node transfer
+            else:
+                # Our own dirty line missed the cache?  It must have been
+                # evicted and written back already; treat as stale entry.
+                entry.reset()
+                self._count_miss(local)
+        else:
+            self._count_miss(local)
+
+        if kind is AccessKind.WRITE and entry.sharers:
+            extra += self._invalidate_sharers(proc, line_addr, entry.sharers, now)
+            entry.sharers = set()
+
+        # Speculation: directory-side checks (may raise through the
+        # controller) and possible extra transactions (read-in).
+        extra += self.hooks.on_dir_access(proc, line_addr, addr, kind, now)
+
+        # Update directory and install the line.
+        if kind is AccessKind.READ:
+            entry.state = DirState.SHARED
+            entry.sharers.add(proc)
+            state = LineState.CLEAN
+        else:
+            entry.state = DirState.DIRTY
+            entry.owner = proc
+            entry.sharers = set()
+            state = LineState.DIRTY
+        line = CacheLine(line_addr, state)
+        self.hooks.fill_line_bits(proc, line, now)
+        fill = self.caches[proc].fill(line)
+        if fill.writeback is not None:
+            self._victim_writeback(proc, fill.writeback, now)
+        elif fill.dropped is not None:
+            self._drop_clean(proc, fill.dropped)
+        return base + queue + extra
+
+    def _count_miss(self, local: bool) -> None:
+        if local:
+            self.stats.local_misses += 1
+        else:
+            self.stats.remote_2hop += 1
+
+    def _upgrade(self, proc: int, line: CacheLine, addr: int, now: float) -> int:
+        """CLEAN->DIRTY ownership upgrade through the home directory."""
+        lat = self.params.latency
+        line_addr = line.line_addr
+        home_node = self.space.home_node(line_addr)
+        local = home_node == self.node_of(proc)
+        base = (lat.local_mem if local else lat.remote_2hop) // 2
+        arrival = now + (0 if local else lat.network_one_way)
+        queue = self.home_of(line_addr).occupy(arrival)
+
+        entry = self.home_of(line_addr).entry(line_addr)
+        extra = 0
+        others = {s for s in entry.sharers if s != proc}
+        if others:
+            extra += self._invalidate_sharers(proc, line_addr, others, now)
+        extra += self.hooks.on_dir_access(proc, line_addr, addr, AccessKind.WRITE, now)
+        entry.state = DirState.DIRTY
+        entry.owner = proc
+        entry.sharers = set()
+        line.state = LineState.DIRTY
+        # Fig 6-(d) ends by refreshing the requester's tag state from the
+        # directory for every word of the line.
+        self.hooks.fill_line_bits(proc, line, now)
+        return base + queue + extra
+
+    def _recall_owner(
+        self, owner: int, line_addr: int, now: float, invalidate: bool
+    ) -> int:
+        """Pull a dirty line out of ``owner``'s cache (writeback)."""
+        self.stats.writebacks += 1
+        line = self.caches[owner].invalidate(line_addr)
+        if line is not None:
+            self.hooks.on_writeback(owner, line, now)
+            if not invalidate:
+                # Downgrade: owner keeps a CLEAN copy.
+                line.state = LineState.CLEAN
+                self.caches[owner].fill(line)
+        return 0  # the 3-hop latency is charged by the caller
+
+    def _invalidate_sharers(
+        self, requester: int, line_addr: int, sharers: set, now: float
+    ) -> int:
+        """Invalidate every sharer; return added latency."""
+        lat = self.params.latency
+        count = 0
+        for sharer in sharers:
+            if sharer == requester:
+                continue
+            self.caches[sharer].invalidate(line_addr)
+            count += 1
+        self.stats.invalidations += count
+        if count == 0:
+            return 0
+        # Invalidations fan out in parallel; acks return to the home.
+        return lat.network_one_way + 2 * count
+
+    def _victim_writeback(self, proc: int, victim: CacheLine, now: float) -> None:
+        """A dirty line displaced from the L2 returns to its home."""
+        self.stats.writebacks += 1
+        self.hooks.on_writeback(proc, victim, now)
+        home = self.home_of(victim.line_addr)
+        home.occupy(now + self.params.latency.network_one_way)
+        entry = home.entry(victim.line_addr)
+        if entry.owner == proc:
+            entry.reset()
+
+    def _drop_clean(self, proc: int, victim: CacheLine) -> None:
+        """Replacement hint: remove a clean victim from the sharer set."""
+        entry = self.home_of(victim.line_addr).peek(victim.line_addr)
+        if entry is not None:
+            entry.sharers.discard(proc)
+            if not entry.sharers and entry.state is DirState.SHARED:
+                entry.state = DirState.UNCACHED
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush_caches(self, merge_spec_state: bool = False, now: float = 0.0) -> None:
+        """Empty all caches and directories (cold start between loop
+        executions, paper §5.2).  Untimed.
+
+        When ``merge_spec_state`` is set, dirty lines first merge their
+        access-bit tag state into the directories, so the speculation
+        state survives the flush.
+        """
+        for proc, hierarchy in enumerate(self.caches):
+            dirty = hierarchy.flush()
+            if merge_spec_state:
+                for line in dirty:
+                    self.hooks.on_writeback(proc, line, now)
+        for directory in self.directories:
+            directory.reset_all()
+        for buf in self.write_buffers:
+            self._pending_clear(buf)
+
+    @staticmethod
+    def _pending_clear(buf: _WriteBuffer) -> None:
+        buf._pending.clear()

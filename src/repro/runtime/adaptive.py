@@ -1,0 +1,169 @@
+"""Adaptive speculation policy (paper §2.2.4).
+
+The paper envisions the run-time test integrated in a parallelizing
+compiler: "the compiler can use heuristics and statistics about the
+parallelization success-rate in previous executions and automatically
+decide when run-time parallelization can be profitable."
+
+:class:`AdaptiveSpeculator` implements that decision loop for repeated
+executions of the same source loop (the common case — Ocean runs 4129
+times, Adm 900).  For each loop site it tracks, from past executions:
+
+* the observed pass rate of the speculation,
+* the average cost of a passing speculative run,
+* the average cost of a failed one (abort + restore + serial), and
+* the average serial cost,
+
+and speculates only while the expected speculative cost beats serial:
+
+    E[speculate] = p_pass * cost_pass + (1 - p_pass) * cost_fail
+
+A small exploration bonus re-tries speculation occasionally after a
+string of failures, so a loop whose input-dependent behaviour changes
+(Track's mix of parallel and non-parallel executions) is re-evaluated.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from ..params import MachineParams
+from ..trace.loop import Loop
+from ..types import Scenario
+from .driver import RunConfig, RunResult, run_hw, run_serial
+
+
+@dataclasses.dataclass
+class SiteStats:
+    """Execution history of one loop site."""
+
+    speculative_runs: int = 0
+    passes: int = 0
+    pass_cost: float = 0.0  # accumulated wall cycles of passing runs
+    fail_cost: float = 0.0
+    serial_runs: int = 0
+    serial_cost: float = 0.0
+    #: executions since speculation was last attempted (for exploration)
+    since_last_attempt: int = 0
+
+    @property
+    def failures(self) -> int:
+        return self.speculative_runs - self.passes
+
+    @property
+    def pass_rate(self) -> float:
+        if self.speculative_runs == 0:
+            return 1.0  # optimistic prior: try speculation first
+        return self.passes / self.speculative_runs
+
+    def avg_pass_cost(self) -> Optional[float]:
+        return self.pass_cost / self.passes if self.passes else None
+
+    def avg_fail_cost(self) -> Optional[float]:
+        return self.fail_cost / self.failures if self.failures else None
+
+    def avg_serial_cost(self) -> Optional[float]:
+        return self.serial_cost / self.serial_runs if self.serial_runs else None
+
+
+@dataclasses.dataclass
+class Decision:
+    """What the policy chose for one execution, and why."""
+
+    speculate: bool
+    reason: str
+    expected_speculative: Optional[float] = None
+    expected_serial: Optional[float] = None
+
+
+class AdaptiveSpeculator:
+    """Per-site decision maker plus executor.
+
+    Args:
+        params: machine to simulate on.
+        config: scheduling configuration for the hardware scheme.
+        explore_after: after this many consecutive non-speculative
+            executions of a site, try speculating once again.
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        config: Optional[RunConfig] = None,
+        explore_after: int = 8,
+    ) -> None:
+        self.params = params
+        self.config = config or RunConfig()
+        self.explore_after = explore_after
+        self.sites: Dict[str, SiteStats] = {}
+
+    # ------------------------------------------------------------------
+    def stats_for(self, site: str) -> SiteStats:
+        stats = self.sites.get(site)
+        if stats is None:
+            stats = SiteStats()
+            self.sites[site] = stats
+        return stats
+
+    def decide(self, site: str) -> Decision:
+        """Choose speculation or serial execution for the next run."""
+        stats = self.stats_for(site)
+        if stats.speculative_runs == 0:
+            return Decision(True, "no history: speculate optimistically")
+        if stats.since_last_attempt >= self.explore_after:
+            return Decision(True, "exploration retry after serial streak")
+        pass_cost = stats.avg_pass_cost()
+        fail_cost = stats.avg_fail_cost()
+        serial_cost = stats.avg_serial_cost()
+        if serial_cost is None:
+            # Never ran serially: keep speculating unless it always fails.
+            if stats.pass_rate == 0.0:
+                return Decision(False, "speculation always failed so far")
+            return Decision(True, f"pass rate {stats.pass_rate:.0%}, no serial baseline")
+        p = stats.pass_rate
+        expected = 0.0
+        if pass_cost is not None:
+            expected += p * pass_cost
+        if fail_cost is not None:
+            expected += (1 - p) * fail_cost
+        elif pass_cost is not None:
+            expected += (1 - p) * pass_cost  # no failure observed yet
+        if expected < serial_cost:
+            return Decision(
+                True,
+                f"expected speculative cost {expected:.0f} < serial {serial_cost:.0f}",
+                expected, serial_cost,
+            )
+        return Decision(
+            False,
+            f"expected speculative cost {expected:.0f} >= serial {serial_cost:.0f}",
+            expected, serial_cost,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(self, site: str, loop: Loop) -> "tuple[Decision, RunResult]":
+        """Decide, simulate accordingly, and record the outcome."""
+        stats = self.stats_for(site)
+        decision = self.decide(site)
+        if decision.speculate:
+            result = run_hw(loop, self.params, self.config)
+            stats.speculative_runs += 1
+            stats.since_last_attempt = 0
+            if result.passed:
+                stats.passes += 1
+                stats.pass_cost += result.wall
+            else:
+                stats.fail_cost += result.wall
+                # A failed speculation ends in a serial execution whose
+                # cost is also a serial-baseline observation.
+                serial_part = result.phases.get("serial-reexec")
+                if serial_part:
+                    stats.serial_runs += 1
+                    stats.serial_cost += serial_part
+        else:
+            result = run_serial(loop, self.params)
+            stats.serial_runs += 1
+            stats.serial_cost += result.wall
+            stats.since_last_attempt += 1
+        return decision, result

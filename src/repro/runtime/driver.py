@@ -1,0 +1,612 @@
+"""Scenario drivers: Serial, Ideal, SW (LRPD) and HW (this paper).
+
+Each ``run_*`` function simulates one complete execution of one loop
+under one scenario and returns a :class:`RunResult` with the wall time,
+the Busy/Sync/Mem breakdown (Figure 12), per-phase times, and the test
+outcome.  The failure path follows the paper's accounting (§6.2): the
+execution time of a failed speculation is the parallel execution up to
+detection (including backup), plus the restore, plus the Serial time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import ConfigurationError, SpeculationFailure
+from ..lrpd.analysis import LRPDOutcome, analyze
+from ..lrpd.shadow import LRPDState
+from ..memsys.system import MemStats
+from ..params import MachineParams
+from ..sim.machine import Machine
+from ..sim.stats import TimeBreakdown
+from ..trace.loop import Loop
+from ..types import ProtocolKind, Scenario
+from .executor import (
+    SWInstrumenter,
+    global_shadow_name,
+    loop_streams,
+    private_copy_name,
+    serial_stream,
+    shadow_name,
+)
+from .phases import (
+    chain,
+    copy_ops,
+    merge_analysis_ops,
+    segment_of,
+    sparse_copy_ops,
+    zero_ops,
+)
+from .schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+
+
+@dataclasses.dataclass(frozen=True)
+class RunConfig:
+    """Knobs shared by the parallel scenarios."""
+
+    schedule: ScheduleSpec = dataclasses.field(default_factory=ScheduleSpec)
+    #: dense backup copies whole arrays; sparse backs up only the lines
+    #: that the loop will write (hash-table saves of §2.2.1).
+    sparse_backup: bool = False
+    #: software scheme: maintain the extra ``Awmin`` shadow array so the
+    #: LRPD test also accepts loops needing read-in/copy-out (§2.2.3).
+    sw_read_in: bool = False
+    #: hardware scheme: width of the privatization time stamps.  When
+    #: the chunk-numbered virtual iteration would overflow, processors
+    #: synchronize and the effective numbering resets (§3.3).  ``None``
+    #: models unbounded stamps (no synchronization ever needed).
+    timestamp_bits: Optional[int] = None
+    #: hardware scheme: keep one set of access bits per cache line
+    #: instead of per word — the space saving §4.1 rejects because
+    #: false sharing then fails the test spuriously (ablation knob).
+    per_line_bits: bool = False
+    #: called with the freshly built Machine before the run starts —
+    #: the hook point for attaching traces/logs (repro.analysis).
+    machine_hook: "Optional[object]" = None
+
+
+def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
+    if config is not None and config.machine_hook is not None:
+        config.machine_hook(machine)
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome and timing of one simulated loop execution."""
+
+    scenario: Scenario
+    loop_name: str
+    num_processors: int
+    passed: bool
+    wall: float
+    breakdown: TimeBreakdown
+    phases: "Dict[str, float]"
+    failure: Optional[SpeculationFailure] = None
+    #: simulated cycle (within the loop phase) at which the failure was
+    #: detected; None for passing runs and for non-speculative scenarios
+    detection_cycle: Optional[float] = None
+    lrpd: Optional[LRPDOutcome] = None
+    spec_messages: int = 0
+    #: memory-system counters for the whole run (hits, misses, traffic)
+    mem: Optional[MemStats] = None
+
+    @property
+    def speedup_base(self) -> float:
+        return self.wall
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _allocate_loop_arrays(machine: Machine, loop: Loop, local: bool) -> None:
+    for spec in loop.arrays:
+        machine.space.allocate(
+            spec.name,
+            spec.length,
+            spec.elem_bytes,
+            protocol=spec.protocol,
+            home_policy="local" if local else "round_robin",
+            local_node=0,
+        )
+
+
+def _backup_name(array: str) -> str:
+    return f"{array}#bak"
+
+
+def _run_phase(
+    machine: Machine,
+    name: str,
+    streams: Dict[int, Iterator[object]],
+    phases: Dict[str, float],
+    abort_on_failure: bool = False,
+) -> TimeBreakdown:
+    engine = machine.engine
+    start = engine.now
+    result = engine.run_phase(streams, start_time=start, abort_on_failure=abort_on_failure)
+    finish = result.finish
+    participants = result.participants()
+    # End-of-phase load imbalance is synchronization time.
+    for i in participants:
+        result.per_proc[i].sync += max(0.0, finish - result.finish_times[i])
+    breakdown = TimeBreakdown.from_procs([result.per_proc[i] for i in participants])
+    phases[name] = finish - start
+    engine.now = finish
+    return breakdown
+
+
+def _backup_streams(
+    machine: Machine, loop: Loop, sparse: bool
+) -> Dict[int, Iterator[object]]:
+    params = machine.params
+    cost = params.cost
+    num = params.num_processors
+    streams: Dict[int, Iterator[object]] = {}
+    arrays = loop.modified_arrays()
+    for proc in range(num):
+        pieces = []
+        for spec in arrays:
+            epl = params.line_bytes // spec.elem_bytes
+            if sparse:
+                written = sorted(loop.written_elements(spec.name))
+                lo, hi = segment_of(len(written), proc, num)
+                pieces.append(
+                    sparse_copy_ops(
+                        spec.name, _backup_name(spec.name), written[lo:hi],
+                        epl, cost.backup_per_element,
+                    )
+                )
+            else:
+                lo, hi = segment_of(spec.length, proc, num)
+                pieces.append(
+                    copy_ops(
+                        spec.name, _backup_name(spec.name), lo, hi,
+                        epl, cost.backup_per_element,
+                    )
+                )
+        streams[proc] = chain(*pieces)
+    return streams
+
+
+def _restore_streams(machine: Machine, loop: Loop) -> Dict[int, Iterator[object]]:
+    params = machine.params
+    cost = params.cost
+    num = params.num_processors
+    streams: Dict[int, Iterator[object]] = {}
+    for proc in range(num):
+        pieces = []
+        for spec in loop.modified_arrays():
+            epl = params.line_bytes // spec.elem_bytes
+            lo, hi = segment_of(spec.length, proc, num)
+            pieces.append(
+                copy_ops(
+                    _backup_name(spec.name), spec.name, lo, hi,
+                    epl, cost.restore_per_element,
+                )
+            )
+        streams[proc] = chain(*pieces)
+    return streams
+
+
+def _serial_params(params: MachineParams) -> MachineParams:
+    return dataclasses.replace(params, num_processors=1, processors_per_node=1)
+
+
+def _append_failure_tail(
+    machine: Machine,
+    loop: Loop,
+    phases: Dict[str, float],
+    breakdown: TimeBreakdown,
+    serial_result: Optional["RunResult"],
+    params: MachineParams,
+) -> "TimeBreakdown":
+    """Failure path: restore the arrays, then account the serial
+    re-execution at the Serial scenario's cost (paper §6.2)."""
+    restore_bd = _run_phase(machine, "restore", _restore_streams(machine, loop), phases)
+    breakdown.add(restore_bd)
+    if serial_result is None:
+        serial_result = run_serial(loop, params)
+    phases["serial-reexec"] = serial_result.wall
+    breakdown.add(serial_result.breakdown)
+    return breakdown
+
+
+# ----------------------------------------------------------------------
+# Serial
+# ----------------------------------------------------------------------
+def run_serial(
+    loop: Loop, params: MachineParams, config: Optional[RunConfig] = None
+) -> RunResult:
+    """Uniprocessor execution with all data local (§6)."""
+    machine = Machine(_serial_params(params), with_speculation=False)
+    _apply_hook(config, machine)
+    _allocate_loop_arrays(machine, loop, local=True)
+    phases: Dict[str, float] = {}
+    breakdown = _run_phase(
+        machine, "loop", {0: serial_stream(loop, params.cost)}, phases
+    )
+    return RunResult(
+        scenario=Scenario.SERIAL,
+        loop_name=loop.name,
+        num_processors=1,
+        passed=True,
+        wall=machine.engine.now,
+        breakdown=breakdown,
+        phases=phases,
+        mem=machine.memsys.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ideal
+# ----------------------------------------------------------------------
+def run_ideal(
+    loop: Loop, params: MachineParams, config: Optional[RunConfig] = None
+) -> RunResult:
+    """Doall execution without any correctness tests (§6): scheduling
+    overheads and load imbalance included, data distributed.
+
+    Arrays the compiler would privatize are still privatized (that is
+    part of making the loop a doall, not part of testing it): accesses
+    to them are redirected to per-processor local copies.
+    """
+    config = config or RunConfig()
+    machine = Machine(params, with_speculation=False)
+    _apply_hook(config, machine)
+    _allocate_loop_arrays(machine, loop, local=False)
+    privatized = {a.name for a in loop.arrays if a.privatized}
+    for name in privatized:
+        spec = loop.array(name)
+        for proc in range(params.num_processors):
+            machine.space.allocate(
+                private_copy_name(name, proc), spec.length, spec.elem_bytes,
+                home_policy="local", local_node=params.node_of_processor(proc),
+            )
+
+    def instrument(proc, op, virt):
+        if op.array in privatized:
+            yield type(op)(op.kind, private_copy_name(op.array, proc), op.index)
+        else:
+            yield op
+
+    phases: Dict[str, float] = {}
+    streams = loop_streams(
+        loop, config.schedule, params.num_processors, params.cost,
+        instrument=instrument if privatized else None,
+    )
+    breakdown = _run_phase(machine, "loop", streams, phases)
+    return RunResult(
+        scenario=Scenario.IDEAL,
+        loop_name=loop.name,
+        num_processors=params.num_processors,
+        passed=True,
+        wall=machine.engine.now,
+        breakdown=breakdown,
+        phases=phases,
+        mem=machine.memsys.stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# HW — the paper's scheme
+# ----------------------------------------------------------------------
+def run_hw(
+    loop: Loop,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    serial_result: Optional[RunResult] = None,
+) -> RunResult:
+    """Hardware speculative run-time parallelization (§3/§4)."""
+    config = config or RunConfig()
+    machine = Machine(params, with_speculation=True)
+    _apply_hook(config, machine)
+    assert machine.spec is not None
+    _allocate_loop_arrays(machine, loop, local=False)
+    for spec in loop.modified_arrays():
+        machine.space.allocate(
+            _backup_name(spec.name), spec.length, spec.elem_bytes,
+            home_policy="round_robin",
+        )
+
+    has_priv = False
+    for spec in loop.arrays_under_test():
+        decl = machine.space.array(spec.name)
+        if spec.protocol is ProtocolKind.NONPRIV:
+            machine.spec.register_nonpriv(decl, per_line_bits=config.per_line_bits)
+        else:
+            has_priv = True
+            privs = [
+                machine.space.allocate(
+                    private_copy_name(spec.name, p), spec.length, spec.elem_bytes,
+                    protocol=spec.protocol,
+                    home_policy="local",
+                    local_node=params.node_of_processor(p),
+                )
+                for p in range(params.num_processors)
+            ]
+            machine.spec.register_priv(
+                decl, privs, simple=(spec.protocol is ProtocolKind.PRIV_SIMPLE)
+            )
+
+    phases: Dict[str, float] = {}
+    breakdown = TimeBreakdown()
+
+    # Phase 1: checkpoint the modifiable shared arrays (§2.2.1).
+    if loop.modified_arrays():
+        breakdown.add(
+            _run_phase(
+                machine, "backup",
+                _backup_streams(machine, loop, config.sparse_backup), phases,
+            )
+        )
+
+    # Phase 2: the speculative doall, aborted on the first FAIL.
+    machine.spec.arm()
+    cost = params.cost
+    iter_overhead = cost.loop_iter_overhead + (
+        cost.hw_iter_tag_clear_cycles if has_priv else 0
+    )
+    streams = loop_streams(
+        loop, config.schedule, params.num_processors, cost,
+        iter_overhead=iter_overhead,
+        setup_cycles=cost.hw_loop_setup_cycles,
+        timestamp_bits=config.timestamp_bits,
+    )
+    loop_start = machine.engine.now
+    breakdown.add(
+        _run_phase(machine, "loop", streams, phases, abort_on_failure=True)
+    )
+
+    failure = machine.spec.controller.failure
+    detection = None
+    if failure is not None:
+        if failure.detected_at is not None:
+            detection = failure.detected_at - loop_start
+        machine.spec.disarm()
+        breakdown = _append_failure_tail(
+            machine, loop, phases, breakdown, serial_result, params
+        )
+        wall = machine.engine.now + phases.get("serial-reexec", 0.0)
+        return RunResult(
+            scenario=Scenario.HW,
+            loop_name=loop.name,
+            num_processors=params.num_processors,
+            passed=False,
+            wall=wall,
+            breakdown=breakdown,
+            phases=phases,
+            failure=failure,
+            detection_cycle=detection,
+            spec_messages=machine.spec.stats.messages,
+            mem=machine.memsys.stats,
+        )
+
+    # Phase 3: copy-out of privatized, live-out arrays (§2.2.3).
+    copyout: Dict[int, Iterator[object]] = {}
+    for spec in loop.arrays_under_test():
+        if not (spec.privatized and spec.live_out):
+            continue
+        epl = params.line_bytes // spec.elem_bytes
+        for proc in range(params.num_processors):
+            indices = _hw_copy_out_indices(machine, spec.name, spec.protocol, proc)
+            if not indices:
+                continue
+            ops = sparse_copy_ops(
+                private_copy_name(spec.name, proc), spec.name, indices,
+                epl, cost.copy_out_per_element,
+            )
+            copyout[proc] = chain(copyout[proc], ops) if proc in copyout else ops
+    if copyout:
+        breakdown.add(_run_phase(machine, "copy-out", copyout, phases))
+    machine.spec.disarm()
+
+    return RunResult(
+        scenario=Scenario.HW,
+        loop_name=loop.name,
+        num_processors=params.num_processors,
+        passed=True,
+        wall=machine.engine.now,
+        breakdown=breakdown,
+        phases=phases,
+        spec_messages=machine.spec.stats.messages,
+        mem=machine.memsys.stats,
+    )
+
+
+def _hw_copy_out_indices(
+    machine: Machine, name: str, protocol: ProtocolKind, proc: int
+) -> List[int]:
+    assert machine.spec is not None
+    if protocol is ProtocolKind.PRIV:
+        table = machine.spec.priv.shared_table(name)
+        return [i for i in range(table.length) if int(table.last_w_proc[i]) == proc]
+    # PRIV_SIMPLE has no last-writer time stamps: each processor
+    # conservatively copies out everything it wrote.
+    table = machine.spec.priv_simple.private_table(name, proc)
+    return [i for i in range(table.length) if bool(table.write_any[i])]
+
+
+# ----------------------------------------------------------------------
+# SW — the software LRPD baseline
+# ----------------------------------------------------------------------
+def run_sw(
+    loop: Loop,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    serial_result: Optional[RunResult] = None,
+) -> RunResult:
+    """Software speculative run-time parallelization (§2)."""
+    config = config or RunConfig()
+    processor_wise = config.schedule.virtual_mode is VirtualMode.PROCESSOR
+    if processor_wise and config.schedule.policy is not SchedulePolicy.STATIC_CHUNK:
+        raise ConfigurationError(
+            "the processor-wise software test requires static chunk scheduling"
+        )
+    machine = Machine(params, with_speculation=False)
+    _apply_hook(config, machine)
+    cost = params.cost
+    num = params.num_processors
+    _allocate_loop_arrays(machine, loop, local=False)
+    for spec in loop.modified_arrays():
+        machine.space.allocate(
+            _backup_name(spec.name), spec.length, spec.elem_bytes,
+            home_policy="round_robin",
+        )
+
+    # Shadow arrays: 2-byte time stamps per element (iteration-wise) or
+    # 64-elements-per-word bitmaps (processor-wise); one private set per
+    # processor in its local memory, plus global merged shadows.
+    state = LRPDState(num, with_awmin=config.sw_read_in)
+    shadow_kinds = ("Ar", "Aw", "Anp") + (("Awmin",) if config.sw_read_in else ())
+    under_test = loop.arrays_under_test()
+    if processor_wise:
+        shadow_elem_bytes = 8
+        shadow_len = lambda n: max(1, math.ceil(n / cost.sw_bitmap_word_elems))
+    else:
+        shadow_elem_bytes = 2
+        shadow_len = lambda n: n
+    for spec in under_test:
+        state.register(spec.name, spec.length, spec.privatized)
+        slen = shadow_len(spec.length)
+        for kind in shadow_kinds:
+            machine.space.allocate(
+                global_shadow_name(spec.name, kind), slen, shadow_elem_bytes,
+                home_policy="round_robin",
+            )
+            for proc in range(num):
+                machine.space.allocate(
+                    shadow_name(spec.name, kind, proc), slen, shadow_elem_bytes,
+                    home_policy="local", local_node=params.node_of_processor(proc),
+                )
+        if spec.privatized:
+            for proc in range(num):
+                machine.space.allocate(
+                    private_copy_name(spec.name, proc), spec.length,
+                    spec.elem_bytes,
+                    home_policy="local", local_node=params.node_of_processor(proc),
+                )
+
+    phases: Dict[str, float] = {}
+    breakdown = TimeBreakdown()
+
+    # Phase 1: zero the private shadows and back up modified arrays.
+    setup: Dict[int, Iterator[object]] = {}
+    backup = _backup_streams(machine, loop, config.sparse_backup)
+    for proc in range(num):
+        pieces = []
+        for spec in under_test:
+            slen = shadow_len(spec.length)
+            epl = params.line_bytes // shadow_elem_bytes
+            for kind in shadow_kinds:
+                pieces.append(
+                    zero_ops(
+                        shadow_name(spec.name, kind, proc), 0, slen,
+                        epl, cost.sw_zero_per_element,
+                    )
+                )
+        pieces.append(backup[proc])
+        setup[proc] = chain(*pieces)
+    breakdown.add(_run_phase(machine, "setup", setup, phases))
+
+    # Phase 2: the speculative doall with marking.
+    instrument = SWInstrumenter(state, loop, cost, processor_wise=processor_wise)
+    streams = loop_streams(
+        loop, config.schedule, num, cost,
+        instrument=instrument,
+        iter_end_cycles=cost.sw_iter_end_instrs,
+    )
+    breakdown.add(_run_phase(machine, "loop", streams, phases))
+
+    # Phase 3: merging + analysis.
+    merge: Dict[int, Iterator[object]] = {}
+    for proc in range(num):
+        pieces = []
+        for spec in under_test:
+            slen = shadow_len(spec.length)
+            epl = params.line_bytes // shadow_elem_bytes
+            lo, hi = segment_of(slen, proc, num)
+            privates = [
+                shadow_name(spec.name, kind, p)
+                for p in range(num)
+                for kind in shadow_kinds
+            ]
+            globals_ = [
+                global_shadow_name(spec.name, kind) for kind in shadow_kinds
+            ]
+            pieces.append(
+                merge_analysis_ops(
+                    privates, globals_, lo, hi, epl, cost.sw_analysis_per_element
+                )
+            )
+        merge[proc] = chain(*pieces)
+    breakdown.add(_run_phase(machine, "merge-analysis", merge, phases))
+
+    outcome = analyze(state)
+    if not outcome.passed:
+        breakdown = _append_failure_tail(
+            machine, loop, phases, breakdown, serial_result, params
+        )
+        return RunResult(
+            scenario=Scenario.SW,
+            loop_name=loop.name,
+            num_processors=num,
+            passed=False,
+            wall=machine.engine.now + phases.get("serial-reexec", 0.0),
+            breakdown=breakdown,
+            phases=phases,
+            detection_cycle=None,  # only known after the loop completes
+            lrpd=outcome,
+            mem=machine.memsys.stats,
+        )
+
+    # Phase 4: copy-out of privatized live-out arrays.
+    copyout: Dict[int, Iterator[object]] = {}
+    for spec in under_test:
+        if not (spec.privatized and spec.live_out):
+            continue
+        epl = params.line_bytes // spec.elem_bytes
+        for proc in range(num):
+            shadow = state.shadow(spec.name, proc)
+            indices = [i for i in range(spec.length) if shadow.ever_written(i)]
+            if not indices:
+                continue
+            ops = sparse_copy_ops(
+                private_copy_name(spec.name, proc), spec.name, indices,
+                epl, cost.copy_out_per_element,
+            )
+            copyout[proc] = chain(copyout[proc], ops) if proc in copyout else ops
+    if copyout:
+        breakdown.add(_run_phase(machine, "copy-out", copyout, phases))
+
+    return RunResult(
+        scenario=Scenario.SW,
+        loop_name=loop.name,
+        num_processors=num,
+        passed=True,
+        wall=machine.engine.now,
+        breakdown=breakdown,
+        phases=phases,
+        lrpd=outcome,
+        mem=machine.memsys.stats,
+    )
+
+
+class LoopRunner:
+    """Convenience wrapper running one loop under all four scenarios."""
+
+    def __init__(
+        self, params: MachineParams, config: Optional[RunConfig] = None
+    ) -> None:
+        self.params = params
+        self.config = config or RunConfig()
+
+    def run(self, loop: Loop, scenario: Scenario) -> RunResult:
+        if scenario is Scenario.SERIAL:
+            return run_serial(loop, self.params)
+        if scenario is Scenario.IDEAL:
+            return run_ideal(loop, self.params, self.config)
+        if scenario is Scenario.HW:
+            return run_hw(loop, self.params, self.config)
+        return run_sw(loop, self.params, self.config)

@@ -1,0 +1,292 @@
+"""Builds the per-processor op streams for the loop execution itself.
+
+The same generator skeleton serves all scenarios; what differs is the
+*instrumenter*, which maps each body op to the ops actually issued:
+
+* identity for Serial, Ideal and HW (the hardware scheme needs no extra
+  instructions inside the loop body — its test logic rides on the
+  cache/directory transactions);
+* :class:`SWInstrumenter` for the software scheme, which wraps every
+  access to an array under test with shadow-array marking traffic and
+  redirects accesses to speculatively privatized arrays to the
+  processor's private copy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set
+
+import dataclasses
+
+from ..errors import SchedulingError
+from ..lrpd.shadow import LRPDState
+from ..params import CostModel
+from ..sim.processor import (
+    Barrier,
+    BarrierOp,
+    BusyCostOp,
+    EpochSyncOp,
+    IterBeginOp,
+    Mutex,
+    MutexOp,
+)
+from ..trace.loop import Loop
+from ..trace.ops import AccessOp, ComputeOp, compute, read, write
+from .schedule import (
+    Block,
+    ChunkQueue,
+    SchedulePolicy,
+    ScheduleSpec,
+    VirtualMode,
+    plan_static,
+    virtual_of,
+)
+
+Instrumenter = Callable[[int, AccessOp, int], Iterator[object]]
+
+
+def identity_instrument(proc: int, op: AccessOp, virt: int) -> Iterator[object]:
+    yield op
+
+
+def shadow_name(array: str, kind: str, proc: int) -> str:
+    """Naming convention for per-processor shadow arrays."""
+    return f"{array}#{kind}@p{proc}"
+
+
+def global_shadow_name(array: str, kind: str) -> str:
+    return f"{array}#{kind}"
+
+
+def private_copy_name(array: str, proc: int) -> str:
+    return f"{array}@p{proc}"
+
+
+class SWInstrumenter:
+    """Marking instrumentation of the software LRPD scheme (§2.2).
+
+    For every access to an array under test it emits the marking
+    instructions (compute cycles) and the shadow-array memory accesses,
+    updates the logical :class:`LRPDState`, and redirects data accesses
+    of privatized arrays to the processor's private copy.  With the
+    processor-wise test, shadow entries are bits packed 64 to a word,
+    so shadow accesses are scaled down accordingly (§2.2.3).
+    """
+
+    def __init__(
+        self,
+        state: LRPDState,
+        loop: Loop,
+        cost: CostModel,
+        processor_wise: bool = False,
+    ) -> None:
+        self.state = state
+        self.cost = cost
+        self.processor_wise = processor_wise
+        self.pack = cost.sw_bitmap_word_elems if processor_wise else 1
+        self._under_test: Set[str] = {a.name for a in loop.arrays_under_test()}
+        self._privatized: Dict[str, bool] = {
+            a.name: a.privatized for a in loop.arrays_under_test()
+        }
+
+    def __call__(self, proc: int, op: AccessOp, virt: int) -> Iterator[object]:
+        name = op.array
+        if name not in self._under_test:
+            yield op
+            return
+        shadow = self.state.shadow(name, proc)
+        index = op.index
+        sidx = index // self.pack
+        privatized = self._privatized[name]
+        if op.is_read:
+            yield compute(self.cost.sw_mark_read_instrs)
+            yield read(shadow_name(name, "Aw", proc), sidx)
+            covered = shadow.written_in(index, virt)
+            shadow.markread(index, virt)
+            if not covered:
+                yield write(shadow_name(name, "Ar", proc), sidx)
+                yield write(shadow_name(name, "Anp", proc), sidx)
+            if privatized and shadow.ever_written(index):
+                yield read(private_copy_name(name, proc), index)
+            else:
+                yield read(name, index)
+        else:
+            yield compute(self.cost.sw_mark_write_instrs)
+            yield read(shadow_name(name, "Aw", proc), sidx)
+            first_in_iter = not shadow.written_in(index, virt)
+            first_in_loop = not shadow.ever_written(index)
+            shadow.markwrite(index, virt)
+            if first_in_iter:
+                yield write(shadow_name(name, "Aw", proc), sidx)
+                if self.state.with_awmin and first_in_loop:
+                    # §2.2.3 extension: record the element's first
+                    # writing iteration in the Awmin shadow array.
+                    yield write(shadow_name(name, "Awmin", proc), sidx)
+            if privatized:
+                yield write(private_copy_name(name, proc), index)
+            else:
+                yield write(name, index)
+
+
+def block_ops(
+    proc: int,
+    loop: Loop,
+    block: Block,
+    spec: ScheduleSpec,
+    iter_overhead: int,
+    instrument: Instrumenter,
+    iter_end_cycles: int = 0,
+) -> Iterator[object]:
+    """Ops for one block of iterations on one processor."""
+    for iteration in block.iterations():
+        virt = virtual_of(block, iteration, spec.virtual_mode, proc)
+        yield IterBeginOp(iteration, virt, iter_overhead)
+        for op in loop.iterations[iteration - 1]:
+            if isinstance(op, AccessOp):
+                for out in instrument(proc, op, virt):
+                    yield out
+            else:
+                yield op
+        if iter_end_cycles:
+            yield ComputeOp(iter_end_cycles)
+
+
+def loop_streams(
+    loop: Loop,
+    spec: ScheduleSpec,
+    num_procs: int,
+    cost: CostModel,
+    instrument: Optional[Instrumenter] = None,
+    iter_overhead: Optional[int] = None,
+    iter_end_cycles: int = 0,
+    setup_cycles: int = 0,
+    mutex: Optional[Mutex] = None,
+    queue: Optional[ChunkQueue] = None,
+    timestamp_bits: Optional[int] = None,
+) -> Dict[int, Iterator[object]]:
+    """Per-processor op generators for the doall execution of ``loop``.
+
+    For the dynamic policy, callers may pass a shared ``mutex``/``queue``
+    pair (otherwise they are created here); the queue's grab log records
+    the emergent block-to-processor assignment.
+
+    ``timestamp_bits`` enables the §3.3 time-stamp overflow handling:
+    when the (chunk-numbered) virtual iteration would exceed
+    ``2**timestamp_bits - 1``, all processors synchronize at a barrier
+    and the effective numbering restarts from 1 (the hardware resets
+    the privatization time stamps).  Requires a static policy with
+    CHUNK numbering.
+    """
+    instrument = instrument or identity_instrument
+    overhead = cost.loop_iter_overhead if iter_overhead is None else iter_overhead
+
+    if timestamp_bits is not None:
+        return _epoch_streams(
+            loop, spec, num_procs, cost, instrument, overhead,
+            iter_end_cycles, setup_cycles, timestamp_bits,
+        )
+
+    if spec.policy is SchedulePolicy.DYNAMIC:
+        from .schedule import cyclic_blocks
+
+        if queue is None:
+            queue = ChunkQueue(cyclic_blocks(loop.num_iterations, spec.chunk_iterations))
+        if mutex is None:
+            mutex = Mutex()
+
+        def dynamic_stream(proc: int) -> Iterator[object]:
+            if setup_cycles:
+                yield BusyCostOp(setup_cycles)
+            while True:
+                yield MutexOp(mutex, cost.sched_dynamic_per_grab)
+                block = queue.pop(proc)
+                if block is None:
+                    return
+                for op in block_ops(
+                    proc, loop, block, spec, overhead, instrument, iter_end_cycles
+                ):
+                    yield op
+
+        return {p: dynamic_stream(p) for p in range(num_procs)}
+
+    per_proc_blocks = plan_static(spec, loop.num_iterations, num_procs)
+
+    def static_stream(proc: int, blocks: Sequence[Block]) -> Iterator[object]:
+        if setup_cycles:
+            yield BusyCostOp(setup_cycles)
+        yield BusyCostOp(cost.sched_static_per_proc)
+        for block in blocks:
+            for op in block_ops(
+                proc, loop, block, spec, overhead, instrument, iter_end_cycles
+            ):
+                yield op
+
+    return {
+        p: static_stream(p, blocks)
+        for p, blocks in enumerate(per_proc_blocks)
+    }
+
+
+def _epoch_streams(
+    loop: Loop,
+    spec: ScheduleSpec,
+    num_procs: int,
+    cost: CostModel,
+    instrument: Instrumenter,
+    overhead: int,
+    iter_end_cycles: int,
+    setup_cycles: int,
+    timestamp_bits: int,
+) -> Dict[int, Iterator[object]]:
+    """Static schedules partitioned into time-stamp epochs (§3.3)."""
+    if spec.policy is SchedulePolicy.DYNAMIC:
+        raise SchedulingError(
+            "time-stamp epoch synchronization requires a static schedule"
+        )
+    if spec.virtual_mode is not VirtualMode.CHUNK:
+        raise SchedulingError(
+            "time-stamp epochs apply to chunk (superiteration) numbering"
+        )
+    capacity = 2 ** timestamp_bits - 1
+    if capacity < 1:
+        raise SchedulingError("timestamp_bits must be >= 1")
+    per_proc_blocks = plan_static(spec, loop.num_iterations, num_procs)
+    max_ordinal = max(
+        (b.ordinal for blocks in per_proc_blocks for b in blocks), default=1
+    )
+    num_epochs = -(-max_ordinal // capacity)  # ceil
+    barriers = [
+        Barrier(num_procs, cost.barrier_base, cost.barrier_per_proc)
+        for _ in range(max(0, num_epochs - 1))
+    ]
+
+    def stream(proc: int, blocks: Sequence[Block]) -> Iterator[object]:
+        if setup_cycles:
+            yield BusyCostOp(setup_cycles)
+        yield BusyCostOp(cost.sched_static_per_proc)
+        by_epoch: Dict[int, List[Block]] = {}
+        for block in blocks:
+            by_epoch.setdefault((block.ordinal - 1) // capacity, []).append(block)
+        for epoch in range(num_epochs):
+            for block in by_epoch.get(epoch, []):
+                effective = dataclasses.replace(
+                    block, ordinal=((block.ordinal - 1) % capacity) + 1
+                )
+                for op in block_ops(
+                    proc, loop, effective, spec, overhead, instrument,
+                    iter_end_cycles,
+                ):
+                    yield op
+            if epoch < num_epochs - 1:
+                yield BarrierOp(barriers[epoch])
+                yield EpochSyncOp(epoch + 1)
+
+    return {p: stream(p, blocks) for p, blocks in enumerate(per_proc_blocks)}
+
+
+def serial_stream(loop: Loop, cost: CostModel) -> Iterator[object]:
+    """All iterations in order on one processor, no test, no marking."""
+    for iteration in range(1, loop.num_iterations + 1):
+        yield IterBeginOp(iteration, iteration, cost.loop_iter_overhead)
+        for op in loop.iterations[iteration - 1]:
+            yield op

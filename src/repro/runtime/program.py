@@ -1,0 +1,171 @@
+"""Application-level model: programs as serial sections + loop sites.
+
+The paper's workloads are *applications* that execute their
+hard-to-analyze loops many times (Ocean 4129 times, Adm 900), with
+compiler-parallelized or sequential code in between.  A
+:class:`Program` models that structure, and :func:`run_program`
+simulates it end-to-end under one of three policies:
+
+* ``SERIAL`` — never speculate (every loop runs sequentially);
+* ``SPECULATE`` — always run the hardware speculation;
+* ``ADAPTIVE`` — the §2.2.4 policy (:class:`AdaptiveSpeculator`),
+  which learns per-site from pass/fail history.
+
+This is where Amdahl effects appear: sequential sections bound the
+application speedup no matter how well the loops parallelize.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Iterable, List, Optional, Union
+
+from ..params import MachineParams
+from ..trace.loop import Loop
+from .adaptive import AdaptiveSpeculator
+from .driver import RunConfig, RunResult, run_hw, run_serial
+
+
+@dataclasses.dataclass(frozen=True)
+class SerialSection:
+    """Code between the loops: a fixed number of one-processor cycles."""
+
+    cycles: float
+    label: str = "serial-section"
+
+
+@dataclasses.dataclass(frozen=True)
+class LoopExecution:
+    """One execution of a run-time-parallelized loop site."""
+
+    site: str
+    loop: Loop
+
+
+Section = Union[SerialSection, LoopExecution]
+
+
+class Policy(enum.Enum):
+    SERIAL = "serial"
+    SPECULATE = "speculate"
+    ADAPTIVE = "adaptive"
+
+
+@dataclasses.dataclass
+class SiteSummary:
+    executions: int = 0
+    speculated: int = 0
+    passed: int = 0
+    cycles: float = 0.0
+
+
+@dataclasses.dataclass
+class ProgramResult:
+    """End-to-end simulated cost of one program under one policy."""
+
+    policy: Policy
+    total_cycles: float
+    loop_cycles: float
+    serial_section_cycles: float
+    sites: Dict[str, SiteSummary]
+
+    @property
+    def loop_fraction(self) -> float:
+        return self.loop_cycles / self.total_cycles if self.total_cycles else 0.0
+
+
+class Program:
+    """An ordered list of serial sections and loop executions."""
+
+    def __init__(self, sections: Iterable[Section]) -> None:
+        self.sections: List[Section] = list(sections)
+        if not self.sections:
+            raise ValueError("a program needs at least one section")
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload,
+        executions: Optional[int] = None,
+        serial_between: float = 20_000.0,
+    ) -> "Program":
+        """Build a program that alternates sequential work with the
+        workload's loop executions (the §5.2 application shape)."""
+        sections: List[Section] = []
+        for loop in workload.executions(executions):
+            sections.append(SerialSection(serial_between))
+            sections.append(LoopExecution(workload.name, loop))
+        return cls(sections)
+
+    def loop_executions(self) -> List[LoopExecution]:
+        return [s for s in self.sections if isinstance(s, LoopExecution)]
+
+
+def run_program(
+    program: Program,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    policy: Policy = Policy.ADAPTIVE,
+    explore_after: int = 8,
+) -> ProgramResult:
+    """Simulate the program end to end under ``policy``.
+
+    Loop executions run on fresh (cold-cache) machines, as the paper's
+    methodology prescribes; serial sections cost their fixed cycles.
+    """
+    config = config or RunConfig()
+    adaptive = AdaptiveSpeculator(params, config, explore_after=explore_after)
+    total = 0.0
+    loops = 0.0
+    serial_cycles = 0.0
+    sites: Dict[str, SiteSummary] = {}
+    for section in program.sections:
+        if isinstance(section, SerialSection):
+            total += section.cycles
+            serial_cycles += section.cycles
+            continue
+        summary = sites.setdefault(section.site, SiteSummary())
+        if policy is Policy.SERIAL:
+            result = run_serial(section.loop, params)
+            speculated = False
+        elif policy is Policy.SPECULATE:
+            result = run_hw(section.loop, params, config)
+            speculated = True
+        else:
+            decision, result = adaptive.execute(section.site, section.loop)
+            speculated = decision.speculate
+        summary.executions += 1
+        summary.speculated += speculated
+        summary.passed += result.passed
+        summary.cycles += result.wall
+        total += result.wall
+        loops += result.wall
+    return ProgramResult(
+        policy=policy,
+        total_cycles=total,
+        loop_cycles=loops,
+        serial_section_cycles=serial_cycles,
+        sites=sites,
+    )
+
+
+def compare_policies(
+    program_builder,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    policies: Iterable[Policy] = (Policy.SERIAL, Policy.SPECULATE, Policy.ADAPTIVE),
+    explore_after: int = 8,
+) -> Dict[Policy, ProgramResult]:
+    """Run freshly built copies of a program under several policies.
+
+    ``program_builder`` is a zero-argument callable returning an
+    equivalent :class:`Program` (loops are consumed by simulation state,
+    so each policy gets its own instance).
+    """
+    results: Dict[Policy, ProgramResult] = {}
+    for policy in policies:
+        results[policy] = run_program(
+            program_builder(), params, config, policy, explore_after
+        )
+    return results

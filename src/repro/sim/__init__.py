@@ -1,0 +1,38 @@
+"""Discrete-event multiprocessor simulation engine.
+
+:class:`~repro.sim.engine.Engine` drives a set of
+:class:`~repro.sim.processor.Processor` models through op streams in
+global time order (a min-heap of events), which serializes all
+directory transactions exactly as the paper's protocol argument
+requires.  Deferred protocol messages from :mod:`repro.core` share the
+same event heap.  :class:`~repro.sim.machine.Machine` wires the engine,
+the memory system and an optional speculation engine together.
+"""
+
+from .stats import PerProcStats, PhaseResult, TimeBreakdown
+from .processor import (
+    BarrierOp,
+    Barrier,
+    IterBeginOp,
+    Mutex,
+    MutexOp,
+    Processor,
+    ProcState,
+)
+from .engine import Engine
+from .machine import Machine
+
+__all__ = [
+    "Barrier",
+    "BarrierOp",
+    "Engine",
+    "IterBeginOp",
+    "Machine",
+    "Mutex",
+    "MutexOp",
+    "PerProcStats",
+    "PhaseResult",
+    "ProcState",
+    "Processor",
+    "TimeBreakdown",
+]

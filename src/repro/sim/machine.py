@@ -1,0 +1,56 @@
+"""Machine: params + address space + memory system + engine, assembled."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..address import AddressSpace
+from ..core.engine import SpeculationEngine
+from ..memsys.system import MemorySystem
+from ..params import MachineParams
+from .engine import Engine
+from .processor import Barrier, Mutex
+
+
+class Machine:
+    """A fully wired simulated CC-NUMA multiprocessor.
+
+    Example:
+        >>> from repro.params import default_params
+        >>> m = Machine(default_params(4))
+        >>> a = m.space.allocate("A", 1024, elem_bytes=8)
+        >>> # ... build op streams and run phases on m.engine
+    """
+
+    def __init__(
+        self,
+        params: MachineParams,
+        space: Optional[AddressSpace] = None,
+        with_speculation: bool = True,
+    ) -> None:
+        self.params = params
+        self.space = space or AddressSpace(
+            params.num_nodes, params.page_bytes, params.line_bytes
+        )
+        self.memsys = MemorySystem(params, self.space)
+        self.spec: Optional[SpeculationEngine] = None
+        self.engine = Engine(self.memsys, self.space, spec=None)
+        if with_speculation:
+            self.spec = SpeculationEngine(
+                params, self.space, scheduler=self.engine.message_scheduler
+            )
+            self.spec.attach(self.memsys)
+            self.engine.spec = self.spec
+
+    # ------------------------------------------------------------------
+    def new_barrier(self, participants: Optional[int] = None) -> Barrier:
+        n = participants or self.params.num_processors
+        cost = self.params.cost
+        return Barrier(n, cost.barrier_base, cost.barrier_per_proc)
+
+    def new_mutex(self) -> Mutex:
+        return Mutex()
+
+    def flush_caches(self) -> None:
+        """Cold-start the memory system (between loop executions, §5.2)."""
+        self.memsys.flush_caches()

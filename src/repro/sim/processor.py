@@ -1,0 +1,278 @@
+"""Processor model plus the synchronization ops (barriers, mutexes).
+
+A processor executes an *op stream* (a Python iterator produced by the
+runtime's executor).  Pure compute and private accesses are batched;
+every shared-memory access, barrier or mutex acquisition is a separate
+engine event, so accesses from different processors interleave in
+global time order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Callable, Iterator, List, Optional, TYPE_CHECKING
+
+from ..trace.ops import AccessOp, ComputeOp, LocalOp
+from ..types import AccessKind
+from .stats import PerProcStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+
+class ProcState(enum.Enum):
+    IDLE = "idle"
+    RUNNING = "running"
+    BLOCKED = "blocked"  # waiting at a barrier or mutex
+    DONE = "done"
+    ABORTED = "aborted"
+
+
+# ----------------------------------------------------------------------
+# Synchronization objects and control ops
+# ----------------------------------------------------------------------
+class Barrier:
+    """An N-participant barrier with a linear-cost release."""
+
+    def __init__(self, participants: int, base_cycles: int, per_proc_cycles: int):
+        self.participants = participants
+        self.cost = base_cycles + per_proc_cycles * participants
+        self._waiting: List["Processor"] = []
+        self._arrivals: List[float] = []
+
+    def arrive(self, proc: "Processor", now: float) -> Optional[float]:
+        """Returns the release time when this arrival completes the
+        barrier, else None (the processor blocks)."""
+        self._waiting.append(proc)
+        self._arrivals.append(now)
+        if len(self._waiting) < self.participants:
+            return None
+        release = now + self.cost
+        for p, arrived in zip(self._waiting, self._arrivals):
+            p.stats.sync += release - arrived
+        waiting = self._waiting
+        self._waiting = []
+        self._arrivals = []
+        for p in waiting:
+            if p is not proc:
+                p.unblock(release)
+        return release
+
+    def release_waiters(self, now: float, aborted: bool = True) -> List["Processor"]:
+        """Abort path: free everyone stuck here (speculation failed)."""
+        released = self._waiting
+        for p, arrived in zip(released, self._arrivals):
+            p.stats.sync += max(0.0, now - arrived)
+        self._waiting = []
+        self._arrivals = []
+        return released
+
+
+class Mutex:
+    """A lock serializing short critical sections (e.g. the fetch&add of
+    dynamic self-scheduling).  Waiting time is Sync; the hold is Busy."""
+
+    def __init__(self) -> None:
+        self._busy_until: float = 0.0
+
+    def acquire(self, now: float, hold_cycles: int) -> float:
+        """Returns the wait time; the caller then holds for hold_cycles."""
+        start = max(now, self._busy_until)
+        self._busy_until = start + hold_cycles
+        return start - now
+
+
+@dataclasses.dataclass(frozen=True)
+class BarrierOp:
+    barrier: Barrier
+
+
+@dataclasses.dataclass(frozen=True)
+class MutexOp:
+    mutex: Mutex
+    hold_cycles: int
+
+
+@dataclasses.dataclass(frozen=True)
+class IterBeginOp:
+    """Marks the start of a loop iteration.
+
+    ``virtual`` is the iteration number the speculation protocols see
+    (the chunk/super-iteration number under block scheduling, §4.1).
+    ``overhead_cycles`` covers induction-variable/branch work plus, for
+    the hardware privatization scheme, the address-qualified tag reset.
+    """
+
+    iteration: int
+    virtual: int
+    overhead_cycles: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class SyncCostOp:
+    """Charge fixed cycles to the Sync bucket (e.g. barrier entry fee)."""
+
+    cycles: int
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochSyncOp:
+    """Time-stamp epoch boundary (§3.3): after the epoch barrier, reset
+    the privatization time stamps so the effective iteration numbers can
+    restart from zero.  Every processor issues one; the engine performs
+    the reset on the first.  ``cycles`` models the reset system call."""
+
+    epoch: int
+    cycles: int = 40
+
+
+@dataclasses.dataclass(frozen=True)
+class BusyCostOp:
+    """Charge fixed cycles to the Busy bucket (fixed overheads such as
+    the §4.1 loop-entry system calls)."""
+
+    cycles: int
+
+
+class Processor:
+    """One simulated processor: pulls ops, issues memory accesses."""
+
+    #: Maximum cycles of pure compute batched into one engine event.
+    BATCH_CYCLES = 256
+
+    def __init__(self, proc_id: int, engine: "Engine") -> None:
+        self.id = proc_id
+        self.engine = engine
+        self.state = ProcState.IDLE
+        self.stats = PerProcStats()
+        self.finish_time: float = -1.0
+        self.current_iteration: int = 0
+        self._ops: Optional[Iterator[object]] = None
+        self._blocked_on: Optional[Barrier] = None
+        self._pending_op: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    def start(self, ops: Iterator[object], time: float) -> None:
+        self._ops = ops
+        self.state = ProcState.RUNNING
+        self.finish_time = -1.0
+        self.engine.post(time, self._resume)
+
+    def unblock(self, time: float) -> None:
+        self.state = ProcState.RUNNING
+        self._blocked_on = None
+        self.engine.post(time, self._resume)
+
+    def abort(self, time: float) -> None:
+        self.state = ProcState.ABORTED
+        self.finish_time = time
+        self._ops = None
+        self.engine.proc_finished(self)
+
+    # ------------------------------------------------------------------
+    def _finish(self, time: float) -> None:
+        # Release-consistency fence: retire outstanding writes.
+        drain = self.engine.memsys.drain_write_buffer(self.id, time)
+        self.stats.mem += drain
+        self.state = ProcState.DONE
+        self.finish_time = time + drain
+        self._ops = None
+        self.engine.proc_finished(self)
+
+    def _resume(self, now: float) -> None:
+        if self.state in (ProcState.DONE, ProcState.ABORTED):
+            return
+        if self.engine.should_abort():
+            self.abort(max(now, self.engine.abort_time()))
+            return
+        assert self._ops is not None
+        memsys = self.engine.memsys
+        t = now
+        while True:
+            if self._pending_op is not None:
+                op = self._pending_op
+                self._pending_op = None
+            else:
+                try:
+                    op = next(self._ops)
+                except StopIteration:
+                    self._finish(t)
+                    return
+            # Ops with shared side effects (memory accesses, barriers,
+            # mutexes) must execute at their true global time: if locally
+            # batched compute advanced our clock past the event time,
+            # yield to the engine so other processors' earlier work runs
+            # first — otherwise protocol state would mutate out of order.
+            # Pure compute also yields past BATCH_CYCLES so aborts are
+            # noticed promptly (hardware squashes within a few cycles).
+            if t > now and (
+                isinstance(op, (AccessOp, BarrierOp, MutexOp))
+                or t - now >= self.BATCH_CYCLES
+            ):
+                self._pending_op = op
+                self.engine.post(t, self._resume)
+                return
+            if isinstance(op, AccessOp):
+                # Resolve through the speculation engine's comparator
+                # (identity when speculation is off).
+                addr = self.engine.resolve(self.id, op.array, op.index, op.kind)
+                if op.kind is AccessKind.READ:
+                    res = memsys.read(self.id, addr, t)
+                else:
+                    res = memsys.write(self.id, addr, t)
+                self.stats.busy += res.issue_cycles
+                self.stats.mem += res.stall_cycles
+                t += res.total
+                # Yield the engine after every shared access so accesses
+                # interleave across processors in global time order.
+                self.engine.post(t, self._resume)
+                return
+            if isinstance(op, ComputeOp):
+                self.stats.busy += op.cycles
+                t += op.cycles
+                continue
+            if isinstance(op, LocalOp):
+                self.stats.busy += 1
+                t += 1
+                continue
+            if isinstance(op, IterBeginOp):
+                self.current_iteration = op.iteration
+                self.engine.set_iteration(self.id, op.virtual)
+                if op.overhead_cycles:
+                    self.stats.busy += op.overhead_cycles
+                    t += op.overhead_cycles
+                continue
+            if isinstance(op, BusyCostOp):
+                self.stats.busy += op.cycles
+                t += op.cycles
+                continue
+            if isinstance(op, SyncCostOp):
+                self.stats.sync += op.cycles
+                t += op.cycles
+                continue
+            if isinstance(op, EpochSyncOp):
+                self.engine.epoch_sync(op.epoch)
+                self.stats.sync += op.cycles
+                t += op.cycles
+                continue
+            if isinstance(op, MutexOp):
+                wait = op.mutex.acquire(t, op.hold_cycles)
+                self.stats.sync += wait
+                self.stats.busy += op.hold_cycles
+                t += wait + op.hold_cycles
+                self.engine.post(t, self._resume)
+                return
+            if isinstance(op, BarrierOp):
+                # Fence before synchronizing.
+                drain = memsys.drain_write_buffer(self.id, t)
+                self.stats.mem += drain
+                t += drain
+                release = op.barrier.arrive(self, t)
+                if release is None:
+                    self.state = ProcState.BLOCKED
+                    self._blocked_on = op.barrier
+                    return
+                self.engine.post(release, self._resume)
+                return
+            raise TypeError(f"unknown op {op!r}")

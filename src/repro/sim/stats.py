@@ -1,0 +1,97 @@
+"""Execution-time accounting (the Busy/Sync/Mem breakdown of Figure 12)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+
+@dataclasses.dataclass
+class PerProcStats:
+    """Cycle accounting for one processor.
+
+    * ``busy`` — cycles executing instructions;
+    * ``mem`` — cycles stalled waiting for the memory system;
+    * ``sync`` — cycles waiting at locks/barriers (including end-of-phase
+      load imbalance).
+    """
+
+    busy: float = 0.0
+    mem: float = 0.0
+    sync: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.mem + self.sync
+
+    def add(self, other: "PerProcStats") -> None:
+        self.busy += other.busy
+        self.mem += other.mem
+        self.sync += other.sync
+
+    def copy(self) -> "PerProcStats":
+        return PerProcStats(self.busy, self.mem, self.sync)
+
+
+@dataclasses.dataclass
+class TimeBreakdown:
+    """Wall-clock execution time split into the Figure-12 categories.
+
+    The split is the per-processor average over the processors that
+    participated, so ``busy + sync + mem == wall`` (idle tail time at
+    phase ends is charged to ``sync``).
+    """
+
+    busy: float = 0.0
+    sync: float = 0.0
+    mem: float = 0.0
+
+    @property
+    def wall(self) -> float:
+        return self.busy + self.sync + self.mem
+
+    def add(self, other: "TimeBreakdown") -> None:
+        self.busy += other.busy
+        self.sync += other.sync
+        self.mem += other.mem
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        return TimeBreakdown(self.busy * factor, self.sync * factor, self.mem * factor)
+
+    def normalized_to(self, reference_wall: float) -> "TimeBreakdown":
+        if reference_wall <= 0:
+            return TimeBreakdown()
+        return self.scaled(1.0 / reference_wall)
+
+    @staticmethod
+    def from_procs(per_proc: List[PerProcStats]) -> "TimeBreakdown":
+        active = [p for p in per_proc if p.total > 0]
+        if not active:
+            return TimeBreakdown()
+        n = len(active)
+        return TimeBreakdown(
+            busy=sum(p.busy for p in active) / n,
+            sync=sum(p.sync for p in active) / n,
+            mem=sum(p.mem for p in active) / n,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"busy": self.busy, "sync": self.sync, "mem": self.mem}
+
+
+@dataclasses.dataclass
+class PhaseResult:
+    """Outcome of running one phase on the engine."""
+
+    start_time: float
+    finish_times: List[float]
+    per_proc: List[PerProcStats]
+    aborted: bool = False
+
+    @property
+    def finish(self) -> float:
+        active = [t for t in self.finish_times if t >= 0]
+        return max(active) if active else self.start_time
+
+    def participants(self) -> List[int]:
+        return [i for i, t in enumerate(self.finish_times) if t >= 0]

@@ -1,0 +1,30 @@
+"""Loop and access-trace representation.
+
+A loop is represented as a sequence of iterations, each iteration being
+a list of abstract operations (:class:`ComputeOp`, :class:`AccessOp`,
+:class:`LocalOp`) over declared arrays.  This mirrors how the paper's
+execution-driven simulator consumed references from instrumented
+binaries; here the workload generators in :mod:`repro.workloads` produce
+the streams directly.
+"""
+
+from .ops import AccessOp, ComputeOp, LocalOp, Op, read, write, compute, local
+from .loop import ArraySpec, Loop, LoopStats
+from .oracle import DependenceOracle, DependenceReport, Parallelism
+
+__all__ = [
+    "AccessOp",
+    "ComputeOp",
+    "LocalOp",
+    "Op",
+    "read",
+    "write",
+    "compute",
+    "local",
+    "ArraySpec",
+    "Loop",
+    "LoopStats",
+    "DependenceOracle",
+    "DependenceReport",
+    "Parallelism",
+]

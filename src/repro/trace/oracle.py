@@ -1,0 +1,292 @@
+"""Ground-truth dependence analysis of a loop's access stream.
+
+The oracle answers, exactly and non-speculatively, the questions the
+run-time tests approximate:
+
+* Is the loop a **doall** as written (no element is touched by more than
+  one iteration unless it is read-only)?
+* Is it a doall **after privatization** (LRPD criterion, §2.2.2: each
+  element under test is read-only, or every read of it is preceded by a
+  write in the same iteration)?
+* Is it a doall after privatization **with read-in/copy-out**
+  (§2.2.3: per element, every read-first iteration is no later than
+  every writing iteration — equivalently ``maxR1st <= minW``)?
+* The same three questions **processor-wise**, for a given assignment of
+  iterations to processors (iterations mapped to "super-iterations").
+
+Tests use the oracle to verify the protocols: a protocol may be
+conservative (flag a parallel loop as serial) but must never pass a loop
+whose parallel execution violates its own correctness criterion.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..types import AccessKind
+from .loop import Loop
+from .ops import AccessOp
+
+
+class Parallelism(enum.Enum):
+    """Summary classification of one loop (see :class:`DependenceReport`)."""
+
+    DOALL = "doall"
+    PRIVATIZABLE = "privatizable"
+    PRIVATIZABLE_RICO = "privatizable-with-read-in-copy-out"
+    NOT_PARALLEL = "not-parallel"
+
+
+@dataclasses.dataclass(frozen=True)
+class Dependence:
+    """One concrete cross-iteration dependence, for reporting."""
+
+    kind: str  # "flow", "anti", or "output"
+    array: str
+    element: int
+    src_iteration: int
+    dst_iteration: int
+
+
+@dataclasses.dataclass
+class ArrayFacts:
+    """Per-element access facts for one array, gathered in one pass.
+
+    Iteration numbers are 1-based.  ``read_first`` holds iterations where
+    the element was read before any same-iteration write; ``read_uncov``
+    holds iterations where it was read and *never* written in that
+    iteration (the software test's ``Ar`` condition); ``writes`` holds
+    all writing iterations.
+    """
+
+    writes: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+    read_first: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+    read_uncov: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+    reads: Dict[int, List[int]] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class ArrayVerdict:
+    """Oracle verdict for one array under test."""
+
+    name: str
+    is_doall: bool
+    is_privatizable: bool
+    is_priv_rico: bool
+    dependences: List[Dependence]
+
+    @property
+    def best(self) -> Parallelism:
+        if self.is_doall:
+            return Parallelism.DOALL
+        if self.is_privatizable:
+            return Parallelism.PRIVATIZABLE
+        if self.is_priv_rico:
+            return Parallelism.PRIVATIZABLE_RICO
+        return Parallelism.NOT_PARALLEL
+
+
+@dataclasses.dataclass
+class DependenceReport:
+    """Loop-level oracle verdict.
+
+    A loop is parallel at a given level only if *every* array under test
+    is parallel at that level (arrays the compiler fully analyzed are
+    assumed dependence-free and are not inspected).
+    """
+
+    loop_name: str
+    arrays: Dict[str, ArrayVerdict]
+
+    @property
+    def is_doall(self) -> bool:
+        return all(v.is_doall for v in self.arrays.values())
+
+    @property
+    def is_privatizable(self) -> bool:
+        """Doall if each array is left alone or privatized as declared."""
+        return all(v.is_doall or v.is_privatizable for v in self.arrays.values())
+
+    @property
+    def is_priv_rico(self) -> bool:
+        return all(
+            v.is_doall or v.is_privatizable or v.is_priv_rico
+            for v in self.arrays.values()
+        )
+
+    @property
+    def classification(self) -> Parallelism:
+        if self.is_doall:
+            return Parallelism.DOALL
+        if self.is_privatizable:
+            return Parallelism.PRIVATIZABLE
+        if self.is_priv_rico:
+            return Parallelism.PRIVATIZABLE_RICO
+        return Parallelism.NOT_PARALLEL
+
+    def dependences(self) -> List[Dependence]:
+        out: List[Dependence] = []
+        for verdict in self.arrays.values():
+            out.extend(verdict.dependences)
+        return out
+
+
+class DependenceOracle:
+    """Exact dependence analyzer over a :class:`Loop`'s trace.
+
+    Args:
+        loop: the loop to analyze.
+        iteration_map: optional mapping from 1-based iteration number to
+            a "super-iteration" number.  Passing the identity yields the
+            iteration-wise analysis; passing the processor assignment of
+            a static chunked schedule yields the processor-wise analysis
+            of paper §2.2.3.
+        max_dependences: cap on dependences *enumerated* per array (the
+            verdict itself is always exact).
+    """
+
+    def __init__(
+        self,
+        loop: Loop,
+        iteration_map: Optional[Mapping[int, int]] = None,
+        max_dependences: int = 16,
+    ) -> None:
+        self.loop = loop
+        self.iteration_map = iteration_map
+        self.max_dependences = max_dependences
+
+    # ------------------------------------------------------------------
+    def _mapped(self, iteration: int) -> int:
+        if self.iteration_map is None:
+            return iteration
+        return self.iteration_map[iteration]
+
+    def _gather(self) -> Dict[str, ArrayFacts]:
+        under_test = {a.name for a in self.loop.arrays_under_test()}
+        facts: Dict[str, ArrayFacts] = {name: ArrayFacts() for name in under_test}
+        # Group consecutive real iterations mapping to the same virtual
+        # iteration: under chunked or processor-wise numbering the whole
+        # group is one "super-iteration" (§2.2.3), so a write in an
+        # earlier real iteration covers a read in a later one.
+        groups: List[Tuple[int, List[object]]] = []
+        for it_no, ops in enumerate(self.loop.iterations, start=1):
+            virt = self._mapped(it_no)
+            if groups and groups[-1][0] == virt:
+                groups[-1][1].extend(ops)
+            else:
+                groups.append((virt, list(ops)))
+        for virt, ops in groups:
+            # Per-(super-)iteration first-write tracking per element.
+            written_before: Set[Tuple[str, int]] = set()
+            read_seen: Dict[Tuple[str, int], bool] = {}
+            for op in ops:
+                if not isinstance(op, AccessOp) or op.array not in under_test:
+                    continue
+                key = (op.array, op.index)
+                f = facts[op.array]
+                if op.kind is AccessKind.WRITE:
+                    written_before.add(key)
+                    f.writes.setdefault(op.index, []).append(virt)
+                else:
+                    f.reads.setdefault(op.index, []).append(virt)
+                    if key not in written_before:
+                        f.read_first.setdefault(op.index, []).append(virt)
+                    read_seen.setdefault(key, True)
+            # Post-pass: reads never covered by any same-iteration write.
+            for (arr, idx) in read_seen:
+                if (arr, idx) not in written_before:
+                    facts[arr].read_uncov.setdefault(idx, []).append(virt)
+        # Deduplicate virtual iteration numbers while preserving order.
+        for f in facts.values():
+            for table in (f.writes, f.read_first, f.read_uncov, f.reads):
+                for idx, its in table.items():
+                    seen: Set[int] = set()
+                    table[idx] = [i for i in its if not (i in seen or seen.add(i))]
+        return facts
+
+    # ------------------------------------------------------------------
+    def analyze(self) -> DependenceReport:
+        facts = self._gather()
+        verdicts: Dict[str, ArrayVerdict] = {}
+        for name, f in facts.items():
+            verdicts[name] = self._verdict(name, f)
+        return DependenceReport(loop_name=self.loop.name, arrays=verdicts)
+
+    def _verdict(self, name: str, f: ArrayFacts) -> ArrayVerdict:
+        is_doall = True
+        is_priv = True
+        is_rico = True
+        deps: List[Dependence] = []
+
+        elements = set(f.writes) | set(f.reads)
+        for elem in elements:
+            w = f.writes.get(elem, [])
+            r = f.reads.get(elem, [])
+            r_first = f.read_first.get(elem, [])
+            r_uncov = f.read_uncov.get(elem, [])
+
+            # --- doall: read-only, or all accesses in one iteration ----
+            touched = set(w) | set(r)
+            if w and len(touched) > 1:
+                is_doall = False
+                self._enumerate_deps(name, elem, w, r_uncov, deps)
+            # --- privatizable (no read-in): every read preceded by a
+            # same-iteration write, or element is read-only -------------
+            if w and r_first:
+                is_priv = False
+            # --- privatizable with read-in/copy-out:
+            # max read-first iteration <= min writing iteration ---------
+            if w and r_first and max(r_first) > min(w):
+                is_rico = False
+        return ArrayVerdict(
+            name=name,
+            is_doall=is_doall,
+            is_privatizable=is_priv,
+            is_priv_rico=is_rico,
+            dependences=deps,
+        )
+
+    def _enumerate_deps(
+        self,
+        array: str,
+        elem: int,
+        writes: Sequence[int],
+        reads_uncov: Sequence[int],
+        out: List[Dependence],
+    ) -> None:
+        """List a few concrete dependences for diagnostics."""
+        if len(out) >= self.max_dependences:
+            return
+        wset = sorted(set(writes))
+        # Output dependences: two different iterations writing.
+        for a, b in zip(wset, wset[1:]):
+            if a != b:
+                out.append(Dependence("output", array, elem, a, b))
+                break
+        for rit in sorted(set(reads_uncov)):
+            for wit in wset:
+                if wit == rit:
+                    continue
+                kind = "flow" if wit < rit else "anti"
+                out.append(Dependence(kind, array, elem, min(wit, rit), max(wit, rit)))
+                if len(out) >= self.max_dependences:
+                    return
+                break
+
+
+def lrpd_would_pass(report: DependenceReport, privatize: Mapping[str, bool]) -> bool:
+    """Whether the software LRPD test (§2.2.2, no ``Awmin``) passes.
+
+    For each array: pass requires no ``Aw & Ar`` overlap and either
+    single-writer (``Atw == Atm``, i.e. doall) or, when the array was
+    speculatively privatized, no ``Aw & Anp`` overlap (privatizable).
+    """
+    for name, verdict in report.arrays.items():
+        if verdict.is_doall:
+            continue
+        if privatize.get(name, False) and verdict.is_privatizable:
+            continue
+        return False
+    return True

@@ -1,0 +1,78 @@
+"""Shared enums and small value types used across the simulator."""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessKind(enum.Enum):
+    """Direction of a memory access."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class ProtocolKind(enum.Enum):
+    """Which dependence-test protocol governs an array under test.
+
+    ``PLAIN`` is the base cache coherence protocol (arrays not under
+    test).  The remaining members correspond to the paper's algorithms:
+
+    * ``NONPRIV`` — non-privatization algorithm (§3.2, Figs 4/6/7).
+    * ``PRIV`` — privatization algorithm with read-in and copy-out
+      support (§3.3, Figs 8/9, state of Fig 5-(c)).
+    * ``PRIV_SIMPLE`` — the reduced-state privatization variant without
+      read-in/copy-out (Fig 5-(b), §4.1): 2 bits in the private
+      directory plus a ``WriteAny`` bit.
+    """
+
+    PLAIN = "plain"
+    NONPRIV = "nonpriv"
+    PRIV = "priv"
+    PRIV_SIMPLE = "priv-simple"
+
+
+class LineState(enum.Enum):
+    """Cache-side line states of the DASH-like invalidation protocol."""
+
+    INVALID = "invalid"
+    CLEAN = "clean"  # valid, possibly shared with other caches
+    DIRTY = "dirty"  # exclusive, modified (owner)
+
+
+class DirState(enum.Enum):
+    """Directory-side line states."""
+
+    UNCACHED = "uncached"
+    SHARED = "shared"
+    DIRTY = "dirty"
+
+
+class FirstState(enum.Enum):
+    """Cache-tag summary of the directory's ``First`` field (§3.2).
+
+    The directory stores the full ID of the first processor to touch an
+    element; a cache only needs to know whether that ID names itself,
+    nobody, or another processor, so two bits suffice in the tags.
+    """
+
+    NONE = "none"
+    OWN = "own"
+    OTHER = "other"
+
+
+class TimeCategory(enum.Enum):
+    """Execution-time accounting buckets used by the paper's Figure 12."""
+
+    BUSY = "busy"
+    SYNC = "sync"
+    MEM = "mem"
+
+
+class Scenario(enum.Enum):
+    """The four execution scenarios compared in the evaluation (§6)."""
+
+    SERIAL = "Serial"
+    IDEAL = "Ideal"
+    SW = "SW"
+    HW = "HW"

@@ -1,0 +1,173 @@
+"""Cross-validation of simulated outcomes against the exact oracle.
+
+For anyone extending the protocols or the workloads, this module
+answers: *did the hardware scheme decide this loop correctly?*  It runs
+the oracle at the same virtual-iteration granularity the schedule uses
+and classifies the expectation per array:
+
+* ``MUST_PASS`` — the array satisfies the protocol's criterion under
+  any processor assignment the schedule could produce;
+* ``MUST_FAIL`` — it violates the criterion under every assignment
+  (exactly computable for the privatization protocols, whose virtual
+  numbering does not depend on which processor runs a block);
+* ``SCHEDULE_DEPENDENT`` — a non-privatization array whose dependences
+  cross block boundaries: whether they land on one processor depends on
+  the emergent dynamic schedule, so either outcome is legitimate.
+
+:func:`validate_hw_run` then checks the actual result for consistency:
+an inconsistent report indicates a protocol bug (and is how several of
+this repo's regression tests are phrased).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Optional
+
+from .params import MachineParams
+from .runtime.driver import RunConfig, RunResult, run_hw
+from .runtime.schedule import SchedulePolicy, VirtualMode, cyclic_blocks, static_chunks
+from .trace.loop import Loop
+from .trace.oracle import DependenceOracle
+from .types import ProtocolKind
+
+
+class Expectation(enum.Enum):
+    MUST_PASS = "must-pass"
+    MUST_FAIL = "must-fail"
+    SCHEDULE_DEPENDENT = "schedule-dependent"
+
+
+@dataclasses.dataclass
+class ArrayExpectation:
+    name: str
+    protocol: ProtocolKind
+    expectation: Expectation
+    reason: str
+
+
+@dataclasses.dataclass
+class ValidationReport:
+    loop_name: str
+    arrays: Dict[str, ArrayExpectation]
+    hw_passed: Optional[bool] = None
+    consistent: Optional[bool] = None
+
+    @property
+    def expectation(self) -> Expectation:
+        """Loop-level expectation: fail dominates, then indeterminate."""
+        kinds = {a.expectation for a in self.arrays.values()}
+        if Expectation.MUST_FAIL in kinds:
+            return Expectation.MUST_FAIL
+        if Expectation.SCHEDULE_DEPENDENT in kinds:
+            return Expectation.SCHEDULE_DEPENDENT
+        return Expectation.MUST_PASS
+
+
+def _block_map(loop: Loop, config: RunConfig, params: MachineParams) -> Dict[int, int]:
+    """Iteration -> virtual number, as the schedule will assign them."""
+    schedule = config.schedule
+    if schedule.policy is SchedulePolicy.STATIC_CHUNK:
+        blocks = static_chunks(loop.num_iterations, params.num_processors)
+    else:
+        blocks = cyclic_blocks(loop.num_iterations, schedule.chunk_iterations)
+    mapping: Dict[int, int] = {}
+    for i, block in enumerate(blocks):
+        for it in block.iterations():
+            if schedule.virtual_mode is VirtualMode.ITERATION:
+                mapping[it] = it
+            elif schedule.virtual_mode is VirtualMode.PROCESSOR:
+                mapping[it] = i + 1  # static chunks: block i -> proc i
+            else:
+                mapping[it] = block.ordinal
+    return mapping
+
+
+def expected_outcome(
+    loop: Loop, config: RunConfig, params: MachineParams
+) -> ValidationReport:
+    """Compute per-array expectations for a hardware run of ``loop``."""
+    mapping = _block_map(loop, config, params)
+    report = DependenceOracle(loop, iteration_map=mapping).analyze()
+    static = config.schedule.policy is not SchedulePolicy.DYNAMIC
+    arrays: Dict[str, ArrayExpectation] = {}
+    for spec in loop.arrays_under_test():
+        verdict = report.arrays[spec.name]
+        if spec.protocol is ProtocolKind.NONPRIV:
+            if verdict.is_doall:
+                exp = ArrayExpectation(
+                    spec.name, spec.protocol, Expectation.MUST_PASS,
+                    "every element read-only or confined to one block",
+                )
+            elif static:
+                # Blocks map to fixed processors: group by processor and
+                # re-check (processor-wise exactness).
+                chunks = static_chunks(loop.num_iterations, params.num_processors)
+                proc_map = {
+                    it: p + 1
+                    for p, block in enumerate(chunks)
+                    for it in block.iterations()
+                }
+                proc_report = DependenceOracle(loop, iteration_map=proc_map).analyze()
+                if proc_report.arrays[spec.name].is_doall:
+                    exp = ArrayExpectation(
+                        spec.name, spec.protocol, Expectation.MUST_PASS,
+                        "dependences stay within static per-processor chunks",
+                    )
+                else:
+                    exp = ArrayExpectation(
+                        spec.name, spec.protocol, Expectation.MUST_FAIL,
+                        "cross-processor sharing under the static assignment",
+                    )
+            else:
+                exp = ArrayExpectation(
+                    spec.name, spec.protocol, Expectation.SCHEDULE_DEPENDENT,
+                    "dependences cross dynamic blocks: outcome depends on "
+                    "which processor grabs each block",
+                )
+        elif spec.protocol is ProtocolKind.PRIV:
+            ok = verdict.is_doall or verdict.is_privatizable or verdict.is_priv_rico
+            exp = ArrayExpectation(
+                spec.name, spec.protocol,
+                Expectation.MUST_PASS if ok else Expectation.MUST_FAIL,
+                "max(read-first) <= min(write) per element"
+                if ok else "a read-first follows a lower-numbered write",
+            )
+        else:  # PRIV_SIMPLE
+            # The reduced protocol's sticky bits cannot implement the
+            # LRPD's single-writer (Atw == Atm) rescue: an element that
+            # is read-first *and* written fails even when all accesses
+            # sit in one iteration.  Its exact criterion is therefore
+            # the privatizability test alone (property-tested).
+            ok = verdict.is_privatizable
+            exp = ArrayExpectation(
+                spec.name, spec.protocol,
+                Expectation.MUST_PASS if ok else Expectation.MUST_FAIL,
+                "no element both read-first and written"
+                if ok else "an element is both read-first and written",
+            )
+        arrays[spec.name] = exp
+    return ValidationReport(loop_name=loop.name, arrays=arrays)
+
+
+def validate_hw_run(
+    loop: Loop,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    result: Optional[RunResult] = None,
+) -> ValidationReport:
+    """Run (or take) a hardware result and check it against expectation."""
+    config = config or RunConfig()
+    report = expected_outcome(loop, config, params)
+    if result is None:
+        result = run_hw(loop, params, config)
+    report.hw_passed = result.passed
+    expectation = report.expectation
+    if expectation is Expectation.MUST_PASS:
+        report.consistent = result.passed
+    elif expectation is Expectation.MUST_FAIL:
+        report.consistent = not result.passed
+    else:
+        report.consistent = True  # either outcome is legitimate
+    return report

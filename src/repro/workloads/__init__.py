@@ -1,0 +1,55 @@
+"""Workload surrogates for the paper's evaluation (§5.2).
+
+The original evaluation simulated four loops from the Perfect Club
+benchmarks that Polaris could not analyze statically: ``ftrvmt.do109``
+(Ocean), ``pp.do100`` (P3m), ``run.do20`` (Adm) and ``nlfilt.do300``
+(Track).  Neither the benchmark inputs nor the compiler-instrumented
+binaries are available, so each workload here is a *synthetic
+surrogate* generated to match every characteristic §5.2 reports:
+iteration counts, execution counts, working-set sizes, element sizes,
+access patterns (strides, privatized scratch, load imbalance), which
+algorithm each array needs, and — for Track — the 5-of-56 executions
+that are not fully parallel yet pass the processor-wise test.  See
+DESIGN.md §5 for the substitution rationale.
+"""
+
+from .base import Workload, WorkloadCharacteristics
+from .ocean import OceanWorkload
+from .p3m import P3mWorkload
+from .adm import AdmWorkload
+from .track import TrackWorkload
+from .synthetic import (
+    failing_loop,
+    parallel_nonpriv_loop,
+    partially_parallel_loop,
+    privatizable_loop,
+)
+
+ALL_WORKLOADS = (OceanWorkload, P3mWorkload, AdmWorkload, TrackWorkload)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Instantiate a paper workload by its short name."""
+    table = {cls.name.lower(): cls for cls in ALL_WORKLOADS}
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; choose from {sorted(table)}"
+        ) from None
+
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "AdmWorkload",
+    "OceanWorkload",
+    "P3mWorkload",
+    "TrackWorkload",
+    "Workload",
+    "WorkloadCharacteristics",
+    "failing_loop",
+    "parallel_nonpriv_loop",
+    "partially_parallel_loop",
+    "privatizable_loop",
+    "workload_by_name",
+]

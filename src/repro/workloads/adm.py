@@ -1,0 +1,95 @@
+"""Adm — surrogate for ``run.do20`` (paper §5.2).
+
+Characteristics reproduced: 900 executions (sampled by default) with 32
+or 64 iterations each; small working set; a mix of arrays needing the
+non-privatization scheme and arrays needing privatization; 8-byte
+elements; good load balance (the software test runs processor-wise).
+Accesses to the arrays under test constitute a large fraction of the
+loop's work, so the software scheme's instruction overhead hurts — the
+paper names Adm (with Ocean) as suffering high instruction overhead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..runtime.driver import RunConfig
+from ..runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from ..trace.loop import ArraySpec, Loop
+from ..trace.ops import compute, read, write
+from ..types import ProtocolKind
+from .base import Workload, WorkloadCharacteristics
+
+
+class AdmWorkload(Workload):
+    name = "Adm"
+    num_processors = 16
+    default_executions = 4
+    paper_executions = 900
+
+    GRID = 4_096       # elements of the non-privatized grid array
+    SCRATCH = 512      # privatized workspace
+
+    characteristics = WorkloadCharacteristics(
+        name="Adm",
+        source_loop="run.do20",
+        paper_executions=900,
+        typical_iterations="32 or 64",
+        working_set="small",
+        element_bytes="8",
+        algorithm="non-privatization + privatization mix",
+        scheduling="good balance; SW processor-wise",
+        num_processors=16,
+        notes="marked accesses are a large fraction of the work",
+    )
+
+    def __init__(self, seed: int = 2026, scale: float = 1.0) -> None:
+        super().__init__(seed, scale)
+
+    def build_execution(self, index: int, rng: random.Random) -> Loop:
+        iteration_count = 32 if index % 2 == 0 else 64
+        # The loop covers the whole (scaled) grid: the working set
+        # shrinks with ``scale`` while iteration counts stay the paper's.
+        grid = max(iteration_count * 8, int(self.GRID * self.scale))
+        grid -= grid % iteration_count
+        per_iter = grid // iteration_count
+        arrays = [
+            ArraySpec("Q", grid, 8, ProtocolKind.NONPRIV),
+            ArraySpec("TMP", self.SCRATCH, 8, ProtocolKind.PRIV_SIMPLE),
+            ArraySpec("C", 1_024, 8, modified=False),
+        ]
+        iterations: List[List[object]] = []
+        for i in range(iteration_count):
+            ops: List[object] = []
+            base = i * per_iter
+            for k in range(per_iter):
+                j = base + k
+                slot = k % self.SCRATCH
+                # Privatized workspace: written then read (covered).
+                ops.append(write("TMP", slot))
+                ops.append(compute(12))
+                ops.append(read("TMP", slot))
+                # Grid element owned by this iteration: read-modify-write.
+                ops.append(read("Q", j))
+                ops.append(read("C", (j + k) % 1024))
+                ops.append(compute(30))
+                ops.append(write("Q", j))
+            iterations.append(ops)
+        return Loop(f"adm.e{index}", arrays, iterations)
+
+    def sw_config(self) -> RunConfig:
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.PROCESSOR)
+        )
+
+    def hw_config(self) -> RunConfig:
+        # Balanced loop: static chunks, like the software scheme uses.
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+        )
+
+    def ideal_config(self) -> RunConfig:
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+        )

@@ -1,0 +1,102 @@
+"""Systematic dependence injection for failure studies.
+
+The evaluation's §6.2 *forces* failures by modifying loops.  This
+module generalizes that: inject a flow, anti or output dependence
+between two chosen iterations of any loop, on an element of a chosen
+array under test.  Used by the failure benches and by tests that check
+the detection machinery against each dependence kind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from ..errors import ConfigurationError
+from ..trace.loop import Loop
+from ..trace.ops import AccessOp, read, write
+
+
+@dataclasses.dataclass(frozen=True)
+class InjectedDependence:
+    """Description of one injected cross-iteration dependence.
+
+    Iterations are 1-based.  ``kind`` is ``"flow"`` (write in ``src``,
+    read in ``dst``), ``"anti"`` (read in ``src``, write in ``dst``) or
+    ``"output"`` (write in both).  ``src < dst`` is required so the
+    serial-order direction is unambiguous.
+    """
+
+    kind: str
+    array: str
+    element: int
+    src: int
+    dst: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("flow", "anti", "output"):
+            raise ConfigurationError(f"unknown dependence kind {self.kind!r}")
+        if not self.src < self.dst:
+            raise ConfigurationError("src iteration must precede dst")
+
+
+def inject(loop: Loop, dep: InjectedDependence) -> Loop:
+    """Return a new loop with ``dep`` added to ``loop``'s iterations.
+
+    The source op is appended to the end of the src iteration and the
+    destination op prepended to the dst iteration, so the dependence's
+    accesses bracket whatever the iterations already do.
+    """
+    if not 1 <= dep.src <= loop.num_iterations:
+        raise ConfigurationError(f"src iteration {dep.src} out of range")
+    if not 1 <= dep.dst <= loop.num_iterations:
+        raise ConfigurationError(f"dst iteration {dep.dst} out of range")
+    spec = loop.array(dep.array)
+    if not 0 <= dep.element < spec.length:
+        raise ConfigurationError(f"element {dep.element} out of range")
+    iterations = [list(ops) for ops in loop.iterations]
+    if dep.kind == "flow":
+        iterations[dep.src - 1].append(write(dep.array, dep.element))
+        iterations[dep.dst - 1].insert(0, read(dep.array, dep.element))
+    elif dep.kind == "anti":
+        iterations[dep.src - 1].append(read(dep.array, dep.element))
+        iterations[dep.dst - 1].insert(0, write(dep.array, dep.element))
+    else:  # output
+        iterations[dep.src - 1].append(write(dep.array, dep.element))
+        iterations[dep.dst - 1].insert(0, write(dep.array, dep.element))
+    return Loop(
+        f"{loop.name}+{dep.kind}@{dep.src}->{dep.dst}",
+        loop.arrays,
+        iterations,
+        iteration_weights=loop.iteration_weights,
+    )
+
+
+def free_element(loop: Loop, array: str) -> int:
+    """An element of ``array`` the loop never touches (for injections
+    that must not collide with existing accesses).  Raises when the
+    loop covers the whole array."""
+    touched = set()
+    for ops in loop.iterations:
+        for op in ops:
+            if isinstance(op, AccessOp) and op.array == array:
+                touched.add(op.index)
+    spec = loop.array(array)
+    for candidate in range(spec.length):
+        if candidate not in touched:
+            return candidate
+    raise ConfigurationError(
+        f"loop touches every element of {array!r}; nowhere to inject"
+    )
+
+
+def inject_each_kind(
+    loop: Loop, array: str, src: int, dst: int, element: Optional[int] = None
+) -> List[Loop]:
+    """One injected variant per dependence kind, on a free element."""
+    if element is None:
+        element = free_element(loop, array)
+    return [
+        inject(loop, InjectedDependence(kind, array, element, src, dst))
+        for kind in ("flow", "anti", "output")
+    ]

@@ -1,0 +1,111 @@
+"""Ocean — surrogate for ``ftrvmt.do109`` (paper §5.2).
+
+Characteristics reproduced: executed thousands of times with 32
+iterations most of the time; small working set of 258*64 complex (16-
+byte) elements; data accessed with *different strides in different
+executions*; the non-privatization algorithm applies; good load balance
+(the software test runs processor-wise); runs on 8 processors.
+
+The surrogate is an FFT-style butterfly pass: execution ``e`` picks a
+stride from the execution index, and iteration ``i`` updates a disjoint
+strided slice of the complex array in place (read, butterfly compute,
+write), with read-only twiddle-factor accesses mixed in.  Disjointness
+across iterations makes every execution fully parallel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..runtime.driver import RunConfig
+from ..runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from ..trace.loop import ArraySpec, Loop
+from ..trace.ops import compute, read, write
+from ..types import ProtocolKind
+from .base import Workload, WorkloadCharacteristics
+
+
+class OceanWorkload(Workload):
+    name = "Ocean"
+    num_processors = 8
+    default_executions = 4
+    #: the paper runs all 4129 executions; we default to a sample
+    paper_executions = 4129
+
+    #: ~258*64 complex elements, rounded to a power of two so every
+    #: stride partitions the index space exactly.
+    ARRAY_ELEMS = 16384
+    ITERATIONS = 32
+    STRIDES = (1, 2, 4, 8, 16)
+
+    characteristics = WorkloadCharacteristics(
+        name="Ocean",
+        source_loop="ftrvmt.do109",
+        paper_executions=4129,
+        typical_iterations="32",
+        working_set="258*64 complex elements (~258 KB)",
+        element_bytes="16",
+        algorithm="non-privatization",
+        scheduling="good balance; SW processor-wise",
+        num_processors=8,
+        notes="different strides in different executions",
+    )
+
+    def __init__(self, seed: int = 2026, scale: float = 0.5) -> None:
+        super().__init__(seed, scale)
+
+    def array_elems(self) -> int:
+        """Scaled array size: the loop always touches the whole array
+        (as the paper's FFT pass does), so the working set shrinks with
+        ``scale``.  Kept a multiple of ITERATIONS * max stride."""
+        unit = self.ITERATIONS * max(self.STRIDES)
+        size = int(self.ARRAY_ELEMS * self.scale)
+        return max(unit, (size // unit) * unit)
+
+    def build_execution(self, index: int, rng: random.Random) -> Loop:
+        stride = self.STRIDES[index % len(self.STRIDES)]
+        size = self.array_elems()
+        # Iteration i owns the contiguous block [i*B, (i+1)*B) and walks
+        # it with the execution's stride (column-major over a
+        # (B/stride x stride) tile), visiting every element exactly once:
+        # disjoint across iterations, full coverage, stride-dependent
+        # locality — the §5.2 "different strides in different
+        # executions" behaviour.
+        block = size // self.ITERATIONS
+        rows = block // stride
+        arrays = [
+            ArraySpec("FT", size, 16, ProtocolKind.NONPRIV),
+            ArraySpec("W", 1024, 16, modified=False),  # twiddle factors
+        ]
+        iterations: List[List[object]] = []
+        for i in range(self.ITERATIONS):
+            ops: List[object] = []
+            base = i * block
+            for k in range(block):
+                j = base + (k % rows) * stride + k // rows
+                ops.append(read("FT", j))
+                if k % 4 == 0:
+                    ops.append(read("W", (k * stride) % 1024))
+                ops.append(compute(26))  # butterfly flops
+                ops.append(write("FT", j))
+            iterations.append(ops)
+        return Loop(f"ocean.e{index}", arrays, iterations)
+
+    def sw_config(self) -> RunConfig:
+        # Good load balance -> processor-wise software test (§5.2).
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.PROCESSOR)
+        )
+
+    def ideal_config(self) -> RunConfig:
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+        )
+
+    def hw_config(self) -> RunConfig:
+        # Good load balance: the hardware scheme is free to schedule any
+        # way (§4.1); static chunks minimize scheduling overhead here.
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+        )

@@ -1,0 +1,132 @@
+"""Track — surrogate for ``nlfilt.do300`` (paper §5.2).
+
+Characteristics reproduced: 56 executions (sampled by default) with an
+average of 480 iterations; small working set; four arrays under the
+non-privatization scheme with 4- or 8-byte elements; the fraction of
+accesses to the arrays under test varies from 0% to 44% across
+executions; load imbalance.  Crucially, a handful of executions (5 of
+56 in the paper) are *not fully parallel*: they carry dependences
+between adjacent iterations.  Those dependences land inside one
+dynamic block (hardware scheme with small blocks) and inside one static
+chunk (processor-wise software test), so both pass — but the
+iteration-wise software test fails them (§5.2, §6.2).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from ..runtime.driver import RunConfig
+from ..runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from ..trace.loop import ArraySpec, Loop
+from ..trace.ops import compute, local, read, write
+from ..types import ProtocolKind
+from .base import Workload, WorkloadCharacteristics
+
+
+class TrackWorkload(Workload):
+    name = "Track"
+    num_processors = 16
+    default_executions = 6
+    paper_executions = 56
+
+    #: iterations per execution (paper average: 480), scaled; kept a
+    #: multiple of num_processors * BLOCK so adjacent-dependence pairs
+    #: stay inside one block and one chunk.
+    BLOCK = 4
+    DEFAULT_ITERATIONS = 128
+    TESTED = 1_024  # elements per tested array
+
+    characteristics = WorkloadCharacteristics(
+        name="Track",
+        source_loop="nlfilt.do300",
+        paper_executions=56,
+        typical_iterations="480 average",
+        working_set="small",
+        element_bytes="4 and 8",
+        algorithm="non-privatization (4 arrays)",
+        scheduling="imbalanced; HW dynamic small blocks, SW static",
+        num_processors=16,
+        notes="some executions not fully parallel; pass processor-wise",
+    )
+
+    def __init__(self, seed: int = 2026, scale: float = 1.0) -> None:
+        super().__init__(seed, scale)
+
+    def is_dependent_execution(self, index: int) -> bool:
+        """Executions carrying adjacent-iteration dependences (the
+        paper's 5-of-56); one in six of the default sample."""
+        return index % 6 == 3
+
+    def build_execution(self, index: int, rng: random.Random) -> Loop:
+        iters = self._scaled(self.DEFAULT_ITERATIONS, 32)
+        # Round to a multiple of procs*BLOCK for chunk/block alignment.
+        unit = self.num_processors * self.BLOCK
+        iters = max(unit, (iters // unit) * unit)
+        iters = min(iters, self.TESTED // 2)  # keep owner slices disjoint
+        marked_fraction = (index % 8) / 8 * 0.44  # 0% .. ~44% (§5.2)
+        arrays = [
+            ArraySpec("T1", self.TESTED, 4, ProtocolKind.NONPRIV),
+            ArraySpec("T2", self.TESTED, 4, ProtocolKind.NONPRIV),
+            ArraySpec("T3", self.TESTED, 8, ProtocolKind.NONPRIV),
+            ArraySpec("T4", self.TESTED, 8, ProtocolKind.NONPRIV),
+            ArraySpec("OBS", 8_192, 8, modified=False),
+        ]
+        tested = ("T1", "T2", "T3", "T4")
+        # Each iteration owns a disjoint slice of the lower half of the
+        # tested arrays; the upper half is reserved for the injected
+        # adjacent-iteration dependences so they never collide with an
+        # owner slice.
+        half = self.TESTED // 2
+        per_iter = max(1, half // iters)
+        dependent = self.is_dependent_execution(index)
+        iterations: List[List[object]] = []
+        for i in range(iters):
+            ops: List[object] = []
+            weight = rng.randint(1, 10)  # load imbalance
+            accesses = 4 + 2 * weight
+            window = (i * 64) % 7_168  # sliding observation window
+            for k in range(accesses):
+                if rng.random() < marked_fraction:
+                    name = tested[k % 4]
+                    j = (i * per_iter + k % per_iter) % half
+                    ops.append(read(name, j))
+                    ops.append(compute(24))
+                    ops.append(write(name, j))
+                else:
+                    ops.append(read("OBS", window + rng.randrange(1_024)))
+                    ops.append(compute(24))
+                    ops.append(local())
+            ops.append(compute(30 * weight))
+            iterations.append(ops)
+        if dependent:
+            # Dependences between iterations (4m+1, 4m+2), 1-based: both
+            # land in the same dynamic block of 4 and (with aligned
+            # chunks) the same static chunk.
+            for m in range(0, iters // self.BLOCK, 3):
+                a = m * self.BLOCK  # 0-based index of iteration 4m+1
+                elem = half + (a * 7) % half
+                iterations[a].append(write("T2", elem))
+                iterations[a + 1].insert(0, read("T2", elem))
+        return Loop(f"track.e{index}", arrays, iterations)
+
+    def hw_config(self) -> RunConfig:
+        # "The plain dynamically-scheduled hardware scheme passes all
+        # loops if the iterations are scheduled in blocks of a few
+        # iterations each" (§5.2).
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, self.BLOCK, VirtualMode.CHUNK)
+        )
+
+    def sw_config(self) -> RunConfig:
+        # Iteration-wise fails 5 executions; processor-wise passes but
+        # forces static scheduling despite the load imbalance (§5.2).
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.PROCESSOR)
+        )
+
+    def ideal_config(self) -> RunConfig:
+        return RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, self.BLOCK, VirtualMode.CHUNK)
+        )

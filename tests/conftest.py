@@ -1,0 +1,28 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import MachineParams, small_test_params
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def params2() -> MachineParams:
+    return small_test_params(2)
+
+
+@pytest.fixture
+def params4() -> MachineParams:
+    return small_test_params(4)
+
+
+@pytest.fixture
+def machine2(params2) -> Machine:
+    return Machine(params2)
+
+
+@pytest.fixture
+def machine4(params4) -> Machine:
+    return Machine(params4)

@@ -1,0 +1,103 @@
+"""Tests for the §2.2.4 adaptive speculation policy."""
+
+import pytest
+
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.runtime.adaptive import AdaptiveSpeculator, SiteStats
+from repro.types import Scenario
+from repro.workloads.synthetic import failing_loop, parallel_nonpriv_loop
+
+PARAMS = MachineParams(num_processors=4)
+CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK)
+)
+
+
+def good_loop():
+    return parallel_nonpriv_loop(iterations=32, work_cycles=400)
+
+
+def bad_loop():
+    return failing_loop(4, iterations=32, work_cycles=400)
+
+
+class TestSiteStats:
+    def test_optimistic_prior(self):
+        assert SiteStats().pass_rate == 1.0
+
+    def test_averages(self):
+        s = SiteStats(speculative_runs=4, passes=3, pass_cost=300.0, fail_cost=50.0)
+        assert s.avg_pass_cost() == 100.0
+        assert s.avg_fail_cost() == 50.0
+        assert s.failures == 1
+
+
+class TestPolicy:
+    def test_first_execution_speculates(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG)
+        decision, result = spec.execute("loop1", good_loop())
+        assert decision.speculate
+        assert result.scenario is Scenario.HW
+
+    def test_keeps_speculating_on_success(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG)
+        for _ in range(4):
+            decision, result = spec.execute("loop1", good_loop())
+            assert decision.speculate and result.passed
+
+    def test_gives_up_on_persistent_failure(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG, explore_after=50)
+        decisions = []
+        for _ in range(6):
+            decision, result = spec.execute("bad", bad_loop())
+            decisions.append(decision.speculate)
+        # First run speculates and fails; the recorded failure cost
+        # exceeds the serial baseline, so later runs go serial.
+        assert decisions[0] is True
+        assert decisions[-1] is False
+        stats = spec.stats_for("bad")
+        assert stats.serial_runs >= 4
+
+    def test_exploration_retries(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG, explore_after=3)
+        speculated = []
+        for _ in range(10):
+            decision, _ = spec.execute("bad", bad_loop())
+            speculated.append(decision.speculate)
+        # After 3 serial executions the policy retries speculation.
+        assert speculated.count(True) >= 2
+
+    def test_sites_tracked_independently(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG, explore_after=50)
+        for _ in range(3):
+            spec.execute("bad", bad_loop())
+            spec.execute("good", good_loop())
+        assert spec.decide("good").speculate
+        assert not spec.decide("bad").speculate
+
+    def test_decision_carries_costs(self):
+        spec = AdaptiveSpeculator(PARAMS, CFG, explore_after=50)
+        for _ in range(3):
+            spec.execute("bad", bad_loop())
+        decision = spec.decide("bad")
+        assert decision.expected_speculative is not None
+        assert decision.expected_serial is not None
+        assert decision.expected_speculative >= decision.expected_serial
+
+
+class TestAdaptiveBeatsStaticChoices:
+    def test_adaptive_total_cost_near_best_static(self):
+        """Over a mixed stream (mostly failing loop), adaptive should be
+        much cheaper than always-speculate and not much worse than
+        always-serial."""
+        from repro.runtime.driver import run_hw, run_serial
+
+        executions = 8
+        loops = [bad_loop() for _ in range(executions)]
+        always_spec = sum(run_hw(l, PARAMS, CFG).wall for l in loops)
+        always_serial = sum(run_serial(l, PARAMS).wall for l in loops)
+        spec = AdaptiveSpeculator(PARAMS, CFG, explore_after=50)
+        adaptive = sum(spec.execute("bad", l)[1].wall for l in loops)
+        assert adaptive < always_spec
+        assert adaptive < always_serial * 1.5

@@ -1,0 +1,88 @@
+"""Tests for the address space and NUMA home assignment."""
+
+import pytest
+
+from repro.address import AddressSpace
+from repro.errors import AddressError, ConfigurationError
+from repro.types import ProtocolKind
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(num_nodes=4, page_bytes=4096, line_bytes=64)
+
+
+class TestAllocation:
+    def test_page_aligned(self, space):
+        a = space.allocate("A", 100, 8)
+        assert a.base % 4096 == 0
+
+    def test_no_overlap(self, space):
+        a = space.allocate("A", 1000, 8)
+        b = space.allocate("B", 1000, 8)
+        assert a.end <= b.base
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("A", 10)
+        with pytest.raises(ConfigurationError):
+            space.allocate("A", 10)
+
+    def test_zero_length_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.allocate("A", 0)
+
+    def test_element_larger_than_line_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.allocate("A", 10, elem_bytes=128)
+
+    def test_bad_policy_rejected(self, space):
+        with pytest.raises(ConfigurationError):
+            space.allocate("A", 10, home_policy="weird")
+
+
+class TestAddressing:
+    def test_addr_of_and_back(self, space):
+        a = space.allocate("A", 100, 8)
+        for i in (0, 1, 50, 99):
+            assert a.index_of(a.addr_of(i)) == i
+
+    def test_addr_out_of_range(self, space):
+        a = space.allocate("A", 100, 8)
+        with pytest.raises(AddressError):
+            a.addr_of(100)
+        with pytest.raises(AddressError):
+            a.addr_of(-1)
+
+    def test_find(self, space):
+        a = space.allocate("A", 100, 8)
+        b = space.allocate("B", 100, 8)
+        assert space.find(a.addr_of(3)) is a
+        assert space.find(b.addr_of(99)) is b
+        assert space.find(0) is None
+
+    def test_line_addr(self, space):
+        assert space.line_addr(4096 + 70) == 4096 + 64
+
+    def test_array_lookup_by_name(self, space):
+        a = space.allocate("A", 10)
+        assert space.array("A") is a
+        with pytest.raises(AddressError):
+            space.array("missing")
+
+
+class TestHomeAssignment:
+    def test_round_robin_by_page(self, space):
+        a = space.allocate("A", 4096, 8)  # 8 pages
+        homes = {space.home_node(a.addr_of(i)) for i in range(0, 4096, 512)}
+        assert homes == {0, 1, 2, 3}
+
+    def test_local_policy(self, space):
+        a = space.allocate("A", 4096, 8, home_policy="local", local_node=2)
+        homes = {space.home_node(a.addr_of(i)) for i in range(0, 4096, 512)}
+        assert homes == {2}
+
+    def test_under_test_listing(self, space):
+        space.allocate("A", 10, protocol=ProtocolKind.NONPRIV)
+        space.allocate("B", 10)
+        names = [d.name for d in space.arrays_under_test()]
+        assert names == ["A"]

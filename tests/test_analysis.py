@@ -1,0 +1,147 @@
+"""Tests for the tracing/analysis subsystem."""
+
+import pytest
+
+from repro.analysis import (
+    AccessTrace,
+    MessageLog,
+    format_summary,
+    summarize_trace,
+)
+from repro.memsys.cache import HitLevel
+from repro.params import small_test_params
+from repro.sim.machine import Machine
+from repro.types import AccessKind, ProtocolKind
+
+
+@pytest.fixture
+def traced_machine():
+    m = Machine(small_test_params(2), with_speculation=False)
+    m.space.allocate("A", 128, elem_bytes=8)
+    m.space.allocate("B", 64, elem_bytes=8)
+    trace = AccessTrace().attach(m.memsys)
+    return m, trace
+
+
+class TestAccessTrace:
+    def test_records_accesses(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        m.memsys.write(1, a.addr_of(5), 10.0)
+        assert len(trace) == 2
+        assert trace.records[0].kind is AccessKind.READ
+        assert trace.records[1].proc == 1
+
+    def test_hit_level_recorded(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        m.memsys.read(0, a.addr_of(0), 500.0)
+        assert trace.records[0].level is HitLevel.MEMORY
+        assert trace.records[1].level is HitLevel.L1
+
+    def test_detach_stops_recording(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        AccessTrace.detach(m.memsys)
+        m.memsys.read(0, a.addr_of(8), 10.0)
+        assert len(trace) == 1
+
+    def test_capacity_bound(self):
+        trace = AccessTrace(capacity=10)
+        from repro.analysis.tracing import AccessRecord
+
+        for i in range(25):
+            trace.append(AccessRecord(i, 0, AccessKind.READ, i, HitLevel.L1, 1))
+        assert len(trace) <= 15
+        assert trace.dropped > 0
+
+    def test_filters(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        m.memsys.read(1, a.addr_of(8), 0.0)
+        assert len(trace.for_proc(0)) == 1
+        assert len(trace.misses()) == 2
+
+
+class TestSummary:
+    def test_per_array_aggregation(self, traced_machine):
+        m, trace = traced_machine
+        a, b = m.space.array("A"), m.space.array("B")
+        for i in range(4):
+            m.memsys.read(0, a.addr_of(i), 10.0 * i)
+        m.memsys.write(0, b.addr_of(0), 100.0)
+        summary = summarize_trace(trace, m.space)
+        assert summary.per_array["A"].reads == 4
+        assert summary.per_array["B"].writes == 1
+        assert summary.total_accesses == 5
+        assert summary.per_proc_accesses[0] == 5
+
+    def test_miss_rate(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)   # miss
+        m.memsys.read(0, a.addr_of(1), 10.0)  # L1 hit (same line)
+        summary = summarize_trace(trace, m.space)
+        assert summary.per_array["A"].miss_rate == 0.5
+
+    def test_format_summary_text(self, traced_machine):
+        m, trace = traced_machine
+        a = m.space.array("A")
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        text = format_summary(summarize_trace(trace, m.space))
+        assert "A" in text and "miss%" in text
+
+    def test_hottest_arrays(self, traced_machine):
+        m, trace = traced_machine
+        a, b = m.space.array("A"), m.space.array("B")
+        for i in range(0, 64, 8):
+            m.memsys.read(0, a.addr_of(i), float(i))  # all misses
+        m.memsys.read(0, b.addr_of(0), 1000.0)
+        summary = summarize_trace(trace, m.space)
+        assert summary.hottest_arrays(1)[0].array == "A"
+
+
+class TestMessageLog:
+    def test_protocol_messages_logged(self):
+        m = Machine(small_test_params(2))
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
+        m.spec.register_nonpriv(a)
+        log = MessageLog()
+        m.spec.ctx.message_log = log
+        m.spec.arm()
+        # Prime the line in both caches, then race two First_updates.
+        m.memsys.read(0, a.addr_of(1), 0.0)
+        m.memsys.read(1, a.addr_of(1), 10.0)
+        m.engine.drain()
+        m.memsys.read(0, a.addr_of(0), 1000.0)
+        m.memsys.read(1, a.addr_of(0), 1000.5)
+        m.engine.drain()
+        counts = log.by_label()
+        assert counts.get("First_update", 0) >= 2
+        assert counts.get("First_update_fail", 0) == 1
+
+    def test_priv_signals_logged(self):
+        m = Machine(small_test_params(2))
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.PRIV)
+        privs = [
+            m.space.allocate(f"A@p{p}", 64, elem_bytes=8,
+                             protocol=ProtocolKind.PRIV,
+                             home_policy="local",
+                             local_node=m.params.node_of_processor(p))
+            for p in range(2)
+        ]
+        m.spec.register_priv(a, privs)
+        log = MessageLog()
+        m.spec.ctx.message_log = log
+        m.spec.arm()
+        m.spec.set_iteration(0, 1)
+        from repro.types import AccessKind as AK
+
+        addr = m.spec.resolve(0, "A", 3, AK.READ)
+        m.memsys.read(0, addr, 0.0)
+        m.engine.drain()
+        assert "read-in" in log.by_label()

@@ -1,0 +1,121 @@
+"""Property-based invariants of the DASH-like coherence protocol.
+
+For random access sequences, after every access the global sharing
+state must satisfy the protocol's invariants:
+
+* **single writer** — at most one cache holds a line DIRTY, and then no
+  other cache holds it at all;
+* **directory-owner agreement** — a DIRTY directory entry names exactly
+  the cache holding the line dirty;
+* **sharer containment** — every cache holding a line (clean) appears
+  in the directory's sharer set while the entry is SHARED (the sharer
+  set may over-approximate after silent clean evictions, never
+  under-approximate);
+* **value-ish coherence proxy** — a reader always finds the line either
+  in its cache or obtainable without deadlock (accesses never raise).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.params import small_test_params
+from repro.sim.machine import Machine
+from repro.types import DirState, LineState
+
+N_PROCS = 3
+N_ELEMS = 48  # spans several lines and pages of the tiny machine
+
+
+def check_invariants(machine: Machine) -> None:
+    space = machine.space
+    memsys = machine.memsys
+    # Collect per-line cache state.
+    holders = {}
+    for proc, hierarchy in enumerate(memsys.caches):
+        for line in hierarchy.l2.resident_lines():
+            holders.setdefault(line.line_addr, []).append((proc, line.state))
+    for line_addr, entries in holders.items():
+        dirty = [p for p, s in entries if s is LineState.DIRTY]
+        assert len(dirty) <= 1, f"two dirty copies of {line_addr:#x}"
+        if dirty:
+            assert len(entries) == 1, (
+                f"dirty line {line_addr:#x} coexists with other copies"
+            )
+        home = memsys.home_of(line_addr)
+        entry = home.peek(line_addr)
+        assert entry is not None, f"cached line {line_addr:#x} unknown to home"
+        if dirty:
+            assert entry.state is DirState.DIRTY
+            assert entry.owner == dirty[0]
+        else:
+            clean_holders = {p for p, s in entries if s is LineState.CLEAN}
+            assert entry.state is DirState.SHARED
+            assert clean_holders <= entry.sharers, (
+                f"sharer set under-approximates for {line_addr:#x}"
+            )
+
+
+op_strategy = st.tuples(
+    st.integers(0, N_PROCS - 1),
+    st.booleans(),
+    st.integers(0, N_ELEMS - 1),
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=40))
+def test_coherence_invariants_hold(ops):
+    machine = Machine(small_test_params(N_PROCS), with_speculation=False)
+    a = machine.space.allocate("A", N_ELEMS, elem_bytes=8)
+    t = 0.0
+    for proc, is_write, index in ops:
+        addr = a.addr_of(index)
+        if is_write:
+            machine.memsys.write(proc, addr, t)
+        else:
+            machine.memsys.read(proc, addr, t)
+        t += 25.0
+        check_invariants(machine)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=40))
+def test_inclusion_property(ops):
+    """Every line in an L1 is also in the same processor's L2."""
+    machine = Machine(small_test_params(N_PROCS), with_speculation=False)
+    a = machine.space.allocate("A", N_ELEMS, elem_bytes=8)
+    t = 0.0
+    for proc, is_write, index in ops:
+        addr = a.addr_of(index)
+        if is_write:
+            machine.memsys.write(proc, addr, t)
+        else:
+            machine.memsys.read(proc, addr, t)
+        t += 25.0
+        for p, hierarchy in enumerate(machine.memsys.caches):
+            l2_lines = {l.line_addr for l in hierarchy.l2.resident_lines()}
+            for line in hierarchy.l1.resident_lines():
+                assert line.line_addr in l2_lines, (
+                    f"L1 of P{p} holds {line.line_addr:#x} not in its L2"
+                )
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(op_strategy, min_size=1, max_size=30))
+def test_latencies_bounded(ops):
+    """No access costs more than the worst-case path plus queueing."""
+    machine = Machine(small_test_params(N_PROCS), with_speculation=False)
+    a = machine.space.allocate("A", N_ELEMS, elem_bytes=8)
+    lat = machine.params.latency
+    worst = lat.remote_3hop + 10 * machine.params.contention.directory_occupancy
+    t = 0.0
+    for proc, is_write, index in ops:
+        addr = a.addr_of(index)
+        if is_write:
+            res = machine.memsys.write(proc, addr, t)
+        else:
+            res = machine.memsys.read(proc, addr, t)
+        invalidation_cost = lat.network_one_way + 2 * N_PROCS
+        assert res.total <= worst + invalidation_cost + lat.l2_hit
+        t += 300.0  # spaced out: queueing cannot pile up unboundedly

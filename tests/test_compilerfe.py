@@ -1,0 +1,148 @@
+"""Tests for the automatic protocol-selection front end."""
+
+import numpy as np
+import pytest
+
+from repro.compilerfe import (
+    auto_protocols,
+    auto_speculative_run,
+    choose_protocols,
+    profile_loop,
+)
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.semantics import ConcreteLoop
+from repro.trace import ArraySpec, Loop, compute, read, write
+from repro.types import ProtocolKind
+
+PARAMS = MachineParams(num_processors=4)
+CFG = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 2, VirtualMode.CHUNK))
+
+
+def build(iters, arrays):
+    return Loop("t", arrays, iters)
+
+
+class TestProfiling:
+    def test_counts(self):
+        loop = build(
+            [[write("A", 0), read("A", 0), read("B", 1)]],
+            [ArraySpec("A", 8), ArraySpec("B", 8, modified=False)],
+        )
+        profiles = profile_loop(loop)
+        assert profiles["A"].writes == 1
+        assert profiles["A"].covered_reads == 1
+        assert profiles["B"].read_first_reads == 1
+
+    def test_multi_iteration_elements(self):
+        loop = build(
+            [[write("A", 0)], [read("A", 0)], [write("A", 5)]],
+            [ArraySpec("A", 8)],
+        )
+        profiles = profile_loop(loop)
+        assert profiles["A"].multi_iteration_elements == 1
+        assert profiles["A"].elements_touched == 2
+
+
+class TestChoices:
+    def test_read_only_gets_plain(self):
+        loop = build(
+            [[read("A", 0)], [read("A", 1)]],
+            [ArraySpec("A", 8)],
+        )
+        choice = choose_protocols(loop, ["A"])["A"]
+        assert choice.protocol is ProtocolKind.PLAIN
+
+    def test_temporary_gets_priv_simple(self):
+        iters = [[write("T", 0), compute(5), read("T", 0)] for _ in range(4)]
+        loop = build(iters, [ArraySpec("T", 8)])
+        choice = choose_protocols(loop, ["T"])["T"]
+        assert choice.protocol is ProtocolKind.PRIV_SIMPLE
+
+    def test_disjoint_updates_get_nonpriv(self):
+        iters = [[read("A", i), write("A", i)] for i in range(6)]
+        loop = build(iters, [ArraySpec("A", 8)])
+        choice = choose_protocols(loop, ["A"])["A"]
+        assert choice.protocol is ProtocolKind.NONPRIV
+
+    def test_rico_pattern_gets_full_priv(self):
+        iters = [
+            [read("A", 0)],
+            [read("A", 0), write("A", 0)],
+            [write("A", 0)],
+        ]
+        loop = build(iters, [ArraySpec("A", 8)])
+        choice = choose_protocols(loop, ["A"])["A"]
+        assert choice.protocol is ProtocolKind.PRIV
+        assert "read-in" in choice.reason
+
+    def test_messy_pattern_falls_back_to_priv(self):
+        iters = [[write("A", 0)], [read("A", 0)]]
+        loop = build(iters, [ArraySpec("A", 8)])
+        choice = choose_protocols(loop, ["A"])["A"]
+        assert choice.protocol is ProtocolKind.PRIV
+        assert "most general" in choice.reason
+
+    def test_choices_carry_profiles(self):
+        iters = [[write("A", 0)]]
+        loop = build(iters, [ArraySpec("A", 8)])
+        choice = choose_protocols(loop, ["A"])["A"]
+        assert choice.profile is not None and choice.profile.writes == 1
+
+
+class TestAutoRun:
+    def test_auto_protocols_respects_explicit(self):
+        def body(i, arrays):
+            arrays["A"][i % 8] = i
+
+        loop = ConcreteLoop(
+            body, 8, {"A": np.zeros(8)},
+            protocols={"A": ProtocolKind.NONPRIV},
+        )
+        assert auto_protocols(loop) == {}
+
+    def test_auto_run_parallel_loop(self):
+        rng = np.random.default_rng(0)
+        f = rng.permutation(64)
+
+        def body(i, arrays):
+            j = int(f[i])
+            arrays["A"][j] = arrays["A"][j] + 1.0
+
+        ref = np.zeros(64)
+        for i in range(32):
+            ref[int(f[i])] += 1.0
+        loop = ConcreteLoop(body, 32, {"A": np.zeros(64)})
+        choices, outcome = auto_speculative_run(loop, PARAMS, CFG)
+        assert choices["A"].protocol is ProtocolKind.NONPRIV
+        assert outcome.passed
+        np.testing.assert_allclose(outcome.arrays["A"], ref)
+
+    def test_auto_run_scratch_loop(self):
+        def body(i, arrays):
+            arrays["W"][0] = float(i)
+            _ = arrays["W"][0]
+            arrays["OUT"][i] = arrays["W"][0] * 2
+
+        loop = ConcreteLoop(
+            body, 16, {"W": np.zeros(4), "OUT": np.zeros(16)}
+        )
+        choices, outcome = auto_speculative_run(loop, PARAMS, CFG)
+        assert choices["W"].protocol is ProtocolKind.PRIV_SIMPLE
+        assert choices["OUT"].protocol is ProtocolKind.NONPRIV
+        assert outcome.passed
+        np.testing.assert_allclose(
+            outcome.arrays["OUT"], np.arange(16, dtype=float) * 2
+        )
+
+    def test_auto_run_serial_loop_recovers(self):
+        def body(i, arrays):
+            arrays["A"][(i + 1) % 8] = arrays["A"][i % 8] + 1
+
+        ref = np.zeros(8)
+        for i in range(16):
+            ref[(i + 1) % 8] = ref[i % 8] + 1
+        loop = ConcreteLoop(body, 16, {"A": np.zeros(8)})
+        choices, outcome = auto_speculative_run(loop, PARAMS, CFG)
+        assert not outcome.passed and outcome.reexecuted_serially
+        np.testing.assert_allclose(outcome.arrays["A"], ref)

@@ -1,0 +1,143 @@
+"""Tests for the access-bit state objects (Figure 5)."""
+
+from repro.core.accessbits import (
+    NO_ITER,
+    NO_PROC,
+    NonPrivDirTable,
+    NonPrivTagBits,
+    PrivPrivateDirTable,
+    PrivSharedDirTable,
+    PrivSimplePrivateTable,
+    PrivSimpleSharedTable,
+    PrivTagBits,
+    state_bits_per_element,
+    tag_bits_per_element,
+)
+from repro.types import FirstState
+
+
+class TestNonPrivTagBits:
+    def test_defaults(self):
+        bits = NonPrivTagBits()
+        assert bits.first is FirstState.NONE
+        assert not bits.priv and not bits.ronly
+
+    def test_copy_is_independent(self):
+        bits = NonPrivTagBits(FirstState.OWN, True, False)
+        other = bits.copy()
+        other.ronly = True
+        assert not bits.ronly
+
+
+class TestPrivTagBits:
+    def test_epoch_clearing(self):
+        bits = PrivTagBits()
+        bits.set_for(3, read1st=True)
+        assert bits.get(3) == (True, False)
+        # A new iteration sees cleared bits without an explicit reset.
+        assert bits.get(4) == (False, False)
+
+    def test_set_in_new_epoch_clears_old(self):
+        bits = PrivTagBits()
+        bits.set_for(1, read1st=True)
+        bits.set_for(2, write=True)
+        assert bits.get(2) == (False, True)
+
+    def test_accumulates_within_epoch(self):
+        bits = PrivTagBits()
+        bits.set_for(1, read1st=True)
+        bits.set_for(1, write=True)
+        assert bits.get(1) == (True, True)
+
+
+class TestNonPrivDirTable:
+    def test_clear(self):
+        t = NonPrivDirTable(4)
+        t.first[2] = 1
+        t.priv[2] = True
+        t.ronly[3] = True
+        t.clear()
+        assert int(t.first[2]) == NO_PROC
+        assert not t.priv[2] and not t.ronly[3]
+
+    def test_tag_view_own_other_none(self):
+        t = NonPrivDirTable(4)
+        t.first[0] = 2
+        assert t.tag_view(0, 2).first is FirstState.OWN
+        assert t.tag_view(0, 1).first is FirstState.OTHER
+        assert t.tag_view(1, 1).first is FirstState.NONE
+
+
+class TestPrivSharedDirTable:
+    def test_min_w_semantics(self):
+        t = PrivSharedDirTable(4)
+        assert t.min_w_of(0) is None
+        t.note_write(0, 5, proc=1)
+        t.note_write(0, 3, proc=2)
+        t.note_write(0, 7, proc=0)
+        assert t.min_w_of(0) == 3
+
+    def test_last_write_tracked_for_copy_out(self):
+        t = PrivSharedDirTable(4)
+        t.note_write(1, 5, proc=1)
+        t.note_write(1, 9, proc=2)
+        t.note_write(1, 7, proc=0)
+        assert int(t.last_w_iter[1]) == 9
+        assert int(t.last_w_proc[1]) == 2
+
+    def test_max_r1st(self):
+        t = PrivSharedDirTable(4)
+        t.note_read_first(0, 4)
+        t.note_read_first(0, 2)
+        assert int(t.max_r1st[0]) == 4
+
+
+class TestPrivPrivateDirTable:
+    def test_line_untouched(self):
+        t = PrivPrivateDirTable(16)
+        assert t.line_untouched(0, 8)
+        t.pmax_w[3] = 1
+        assert not t.line_untouched(0, 8)
+        assert t.line_untouched(8, 8)
+
+    def test_line_untouched_clips_bounds(self):
+        t = PrivPrivateDirTable(4)
+        assert t.line_untouched(0, 8)  # count past the end is clipped
+
+
+class TestPrivSimpleTables:
+    def test_epoch_bits(self):
+        t = PrivSimplePrivateTable(4)
+        t.set_for(0, 1, write=True)
+        assert t.get(0, 1) == (False, True)
+        assert t.get(0, 2) == (False, False)
+        assert bool(t.write_any[0])
+
+    def test_shared_sticky_bits(self):
+        t = PrivSimpleSharedTable(4)
+        t.any_w[1] = True
+        t.clear()
+        assert not t.any_w[1]
+
+
+class TestStateCost:
+    def test_hardware_less_than_software(self):
+        # §3.4: the hardware scheme needs less per-element state.
+        for read_in in (False, True):
+            bits = state_bits_per_element(16, 2 ** 16, read_in)
+            assert bits["hardware"] < bits["software"]
+
+    def test_nonpriv_dir_bits(self):
+        bits = state_bits_per_element(16, 1024, False)
+        assert bits["nonpriv_dir_bits"] == 2 + 4  # 2 + log2(16)
+
+    def test_priv_bits_without_read_in(self):
+        bits = state_bits_per_element(16, 1024, False)
+        assert bits["priv_dir_bits"] == 2
+
+    def test_priv_bits_with_read_in(self):
+        bits = state_bits_per_element(16, 1024, True)
+        assert bits["priv_dir_bits"] == 2 * 10  # two 10-bit time stamps
+
+    def test_tag_bits(self):
+        assert tag_bits_per_element() == {"nonpriv": 4, "priv": 2}

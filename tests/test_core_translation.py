@@ -1,0 +1,76 @@
+"""Tests for the translation table / address-range comparator."""
+
+import pytest
+
+from repro.address import AddressSpace
+from repro.core.translation import RangeEntry, TranslationTable
+from repro.errors import ConfigurationError
+from repro.types import ProtocolKind
+
+
+@pytest.fixture
+def setup():
+    space = AddressSpace(2, page_bytes=256, line_bytes=64)
+    a = space.allocate("A", 64, 8, protocol=ProtocolKind.NONPRIV)
+    b = space.allocate("B", 32, 4, protocol=ProtocolKind.PRIV)
+    table = TranslationTable()
+    table.load(RangeEntry(a, ProtocolKind.NONPRIV))
+    table.load(RangeEntry(b, ProtocolKind.PRIV))
+    return space, a, b, table
+
+
+class TestLookup:
+    def test_hit(self, setup):
+        _, a, b, table = setup
+        entry, idx = table.lookup(a.addr_of(5))
+        assert entry.decl is a and idx == 5
+        entry, idx = table.lookup(b.addr_of(31))
+        assert entry.decl is b and idx == 31
+
+    def test_miss_before_and_after(self, setup):
+        _, a, b, table = setup
+        assert table.lookup(0) is None
+        assert table.lookup(b.end + 4096) is None
+
+    def test_gap_between_arrays(self, setup):
+        _, a, b, table = setup
+        # Page padding between A's data end and B's base.
+        if a.end < b.base:
+            assert table.lookup(a.end) is None
+
+    def test_unaligned_address_maps_to_element(self, setup):
+        _, a, _, table = setup
+        entry, idx = table.lookup(a.addr_of(3) + 4)  # mid-element
+        assert idx == 3
+
+
+class TestLineLookup:
+    def test_full_line(self, setup):
+        _, a, _, table = setup
+        entry, first, count = table.lookup_line(a.base, 64)
+        assert first == 0 and count == 8  # 8-byte elements
+
+    def test_partial_last_line(self, setup):
+        space = AddressSpace(2, page_bytes=256, line_bytes=64)
+        c = space.allocate("C", 10, 8)  # 80 bytes: second line is partial
+        table = TranslationTable()
+        table.load(RangeEntry(c, ProtocolKind.NONPRIV))
+        entry, first, count = table.lookup_line(c.base + 64, 64)
+        assert first == 8 and count == 2
+
+    def test_line_outside(self, setup):
+        _, _, b, table = setup
+        assert table.lookup_line(b.end + 8192, 64) is None
+
+
+class TestOverlap:
+    def test_overlapping_ranges_rejected(self, setup):
+        _, a, _, table = setup
+        with pytest.raises(ConfigurationError):
+            table.load(RangeEntry(a, ProtocolKind.PRIV))
+
+    def test_unload(self, setup):
+        _, a, _, table = setup
+        table.unload_all()
+        assert len(table) == 0
+        assert table.lookup(a.addr_of(0)) is None

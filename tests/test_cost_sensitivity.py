@@ -1,0 +1,81 @@
+"""Cost-model sensitivity: the knobs act on the right scheme.
+
+The evaluation's shape must be driven by the modeled mechanisms, not
+accidents: raising the software marking cost should slow SW and leave
+HW untouched; raising the hardware setup cost should do the opposite.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.params import MachineParams
+from repro.runtime import (
+    RunConfig,
+    SchedulePolicy,
+    ScheduleSpec,
+    VirtualMode,
+    run_hw,
+    run_sw,
+)
+from repro.workloads.synthetic import parallel_nonpriv_loop
+
+BASE = MachineParams(num_processors=4)
+HW_CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+)
+SW_CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.PROCESSOR)
+)
+
+
+def with_cost(**kwargs) -> MachineParams:
+    return dataclasses.replace(
+        BASE, cost=dataclasses.replace(BASE.cost, **kwargs)
+    )
+
+
+@pytest.fixture
+def loop():
+    return parallel_nonpriv_loop(iterations=32, work_cycles=50)
+
+
+class TestCostKnobs:
+    def test_marking_cost_hits_sw_only(self, loop):
+        expensive = with_cost(sw_mark_read_instrs=60, sw_mark_write_instrs=40)
+        sw_base = run_sw(loop, BASE, SW_CFG).wall
+        sw_exp = run_sw(loop, expensive, SW_CFG).wall
+        hw_base = run_hw(loop, BASE, HW_CFG).wall
+        hw_exp = run_hw(loop, expensive, HW_CFG).wall
+        assert sw_exp > sw_base * 1.1
+        assert hw_exp == hw_base
+
+    def test_hw_setup_cost_hits_hw_only(self, loop):
+        expensive = with_cost(hw_loop_setup_cycles=40_000)
+        hw_base = run_hw(loop, BASE, HW_CFG).wall
+        hw_exp = run_hw(loop, expensive, HW_CFG).wall
+        sw_base = run_sw(loop, BASE, SW_CFG).wall
+        sw_exp = run_sw(loop, expensive, SW_CFG).wall
+        assert hw_exp > hw_base + 30_000
+        assert sw_exp == sw_base
+
+    def test_analysis_cost_scales_sw_merge_phase(self, loop):
+        expensive = with_cost(sw_analysis_per_element=30)
+        base_run = run_sw(loop, BASE, SW_CFG)
+        exp_run = run_sw(loop, expensive, SW_CFG)
+        assert (
+            exp_run.phases["merge-analysis"] > base_run.phases["merge-analysis"]
+        )
+        assert exp_run.phases["loop"] == base_run.phases["loop"]
+
+    def test_backup_cost_hits_both_schemes(self, loop):
+        # HW has a dedicated backup phase; SW folds backup into its
+        # setup phase (with the shadow zero-out).
+        expensive = with_cost(backup_per_element=40)
+        for runner, cfg, phase in (
+            (run_hw, HW_CFG, "backup"),
+            (run_sw, SW_CFG, "setup"),
+        ):
+            base_run = runner(loop, BASE, cfg)
+            exp_run = runner(loop, expensive, cfg)
+            assert exp_run.phases[phase] > base_run.phases[phase]

@@ -1,0 +1,72 @@
+"""Coverage for the foundation modules (errors, types)."""
+
+import pytest
+
+from repro.errors import (
+    AddressError,
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    SchedulingError,
+    SpeculationFailure,
+)
+from repro.types import (
+    AccessKind,
+    DirState,
+    FirstState,
+    LineState,
+    ProtocolKind,
+    Scenario,
+    TimeCategory,
+)
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [AddressError, ConfigurationError, ProtocolError, SchedulingError,
+         SpeculationFailure],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_speculation_failure_fields(self):
+        f = SpeculationFailure(
+            "reason", element=("A", 3), detected_at=42,
+            iteration=7, processor=1,
+        )
+        assert f.reason == "reason"
+        assert f.element == ("A", 3)
+        text = str(f)
+        assert "A[3]" in text and "cycle=42" in text
+        assert "iteration=7" in text and "processor=1" in text
+
+    def test_speculation_failure_minimal(self):
+        f = SpeculationFailure("just a reason")
+        assert str(f) == "just a reason"
+        assert f.detected_at is None
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise SpeculationFailure("x")
+
+
+class TestEnums:
+    def test_protocol_kinds(self):
+        assert {p.value for p in ProtocolKind} == {
+            "plain", "nonpriv", "priv", "priv-simple",
+        }
+
+    def test_scenarios_match_paper(self):
+        assert [s.value for s in Scenario] == ["Serial", "Ideal", "SW", "HW"]
+
+    def test_states_distinct(self):
+        assert len({s.value for s in LineState}) == 3
+        assert len({s.value for s in DirState}) == 3
+        assert len({s.value for s in FirstState}) == 3
+
+    def test_access_kinds(self):
+        assert AccessKind.READ is not AccessKind.WRITE
+
+    def test_time_categories(self):
+        assert {c.value for c in TimeCategory} == {"busy", "sync", "mem"}

@@ -1,0 +1,263 @@
+"""Tests for the experiment harness — including the paper's headline
+shape claims at a reduced simulation size."""
+
+import pytest
+
+from repro.experiments.figures import (
+    PRESETS,
+    fig11_speedups,
+    fig12_breakdown,
+    fig13_failure,
+    fig14_scalability,
+    make_workload,
+    table1_workloads,
+    table2_state,
+)
+from repro.experiments.report import (
+    render_fig11,
+    render_fig12,
+    render_fig13,
+    render_fig14,
+    render_table1,
+    render_table2,
+)
+from repro.experiments.scenarios import run_workload
+from repro.types import Scenario
+from repro.workloads import AdmWorkload
+
+
+@pytest.fixture(scope="module")
+def fig11_rows():
+    return fig11_speedups(preset="quick")
+
+
+@pytest.fixture(scope="module")
+def fig13_rows():
+    return fig13_failure(preset="quick")
+
+
+class TestScenarioRunner:
+    def test_run_workload_small(self):
+        res = run_workload(AdmWorkload(scale=0.2), executions=1)
+        assert set(res.scenarios) == {
+            Scenario.SERIAL, Scenario.IDEAL, Scenario.SW, Scenario.HW,
+        }
+        assert res.speedup(Scenario.SERIAL) == 1.0
+        assert 0 < res.efficiency(Scenario.HW) <= 1.0
+
+    def test_breakdown_normalization(self):
+        res = run_workload(AdmWorkload(scale=0.2), executions=1)
+        serial_bd = res.normalized_breakdown(Scenario.SERIAL)
+        assert serial_bd.wall == pytest.approx(1.0, abs=0.01)
+
+
+class TestFig11Shape:
+    """The paper's headline claims, checked as *shape* properties."""
+
+    def test_hw_between_sw_and_ideal(self, fig11_rows):
+        for row in fig11_rows:
+            assert row.sw <= row.hw * 1.05, row.workload
+            assert row.hw <= row.ideal * 1.05, row.workload
+
+    def test_hw_beats_sw_on_average(self, fig11_rows):
+        hw = sum(r.hw for r in fig11_rows) / len(fig11_rows)
+        sw = sum(r.sw for r in fig11_rows) / len(fig11_rows)
+        assert hw > 1.5 * sw  # paper: ~2x
+
+    def test_everything_passes(self, fig11_rows):
+        for row in fig11_rows:
+            for scenario in (Scenario.SW, Scenario.HW):
+                assert row.results.scenarios[scenario].failures == 0, row.workload
+
+    def test_ocean_runs_on_8(self, fig11_rows):
+        by_name = {r.workload: r for r in fig11_rows}
+        assert by_name["Ocean"].num_processors == 8
+        assert by_name["Adm"].num_processors == 16
+
+
+class TestFig12Shape:
+    def test_rows_cover_all_scenarios(self):
+        rows = fig12_breakdown(preset="quick", workloads=["Adm"])
+        assert len(rows) == 4
+        assert rows[0].scenario is Scenario.SERIAL
+        assert rows[0].total == pytest.approx(1.0, abs=0.01)
+
+    def test_parallel_total_below_serial(self):
+        rows = fig12_breakdown(preset="quick", workloads=["Adm"])
+        for row in rows:
+            if row.scenario is not Scenario.SERIAL:
+                assert row.total < 1.0
+
+    def test_sw_busier_than_hw(self):
+        """§6.1: the software scheme's extra instructions raise Busy."""
+        rows = fig12_breakdown(preset="quick", workloads=["Adm", "Track"])
+        by_key = {(r.workload, r.scenario): r for r in rows}
+        for name in ("Adm", "Track"):
+            assert (
+                by_key[(name, Scenario.SW)].busy
+                > by_key[(name, Scenario.HW)].busy
+            )
+
+
+class TestFig13Shape:
+    def test_hw_detects_early_and_costs_less(self, fig13_rows):
+        by_key = {(r.workload, r.scenario): r for r in fig13_rows}
+        for name in ("Ocean", "P3m", "Adm", "Track"):
+            hw = by_key[(name, Scenario.HW)]
+            sw = by_key[(name, Scenario.SW)]
+            assert hw.normalized_time < sw.normalized_time, name
+            assert hw.detection_cycle is not None
+
+    def test_hw_overhead_moderate_except_track(self, fig13_rows):
+        """§6.2: HW takes a bit longer than Serial; Track is the
+        exception (backup/restore dominates its tiny loop)."""
+        by_key = {(r.workload, r.scenario): r for r in fig13_rows}
+        for name in ("Ocean", "P3m", "Adm"):
+            assert by_key[(name, Scenario.HW)].normalized_time < 2.0, name
+
+    def test_all_scenarios_present(self, fig13_rows):
+        assert len(fig13_rows) == 12  # 4 loops x 3 scenarios
+
+
+class TestFig14Shape:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig14_scalability(preset="quick", workloads=["Adm", "Track"])
+
+    def test_hw_scales_better_than_sw(self, rows):
+        """§6.3: from 8 to 16 processors HW gains more than SW."""
+        by_key = {(r.workload, r.num_processors): r for r in rows}
+        for name in ("Adm", "Track"):
+            hw_gain = by_key[(name, 16)].hw / by_key[(name, 8)].hw
+            sw_gain = by_key[(name, 16)].sw / by_key[(name, 8)].sw
+            assert hw_gain > sw_gain * 0.95, name
+
+    def test_ocean_excluded_by_default(self):
+        rows = fig14_scalability(preset="quick", workloads=None)
+        assert all(r.workload != "Ocean" for r in rows)
+
+
+class TestTables:
+    def test_table1_covers_all_workloads(self):
+        rows = table1_workloads(preset="quick")
+        assert [r.name for r in rows] == ["Ocean", "P3m", "Adm", "Track"]
+        assert all(r.measured_accesses > 0 for r in rows)
+
+    def test_table2_hw_always_cheaper(self):
+        for row in table2_state():
+            assert row.hw_bits < row.sw_bits
+
+
+class TestRendering:
+    def test_all_renderers_produce_text(self, fig11_rows, fig13_rows):
+        outputs = [
+            render_fig11(fig11_rows),
+            render_fig12(fig12_breakdown(preset="quick", workloads=["Adm"])),
+            render_fig13(fig13_rows),
+            render_fig14(fig14_scalability(preset="quick", workloads=["Adm"])),
+            render_table1(table1_workloads(preset="quick")),
+            render_table2(table2_state()),
+        ]
+        for text in outputs:
+            assert isinstance(text, str) and len(text.splitlines()) > 3
+
+    def test_presets_defined_for_all_workloads(self):
+        for preset, table in PRESETS.items():
+            assert set(table) == {"Ocean", "P3m", "Adm", "Track"}, preset
+
+    def test_make_workload_applies_scale(self):
+        quick = make_workload("Ocean", "quick")
+        full = make_workload("Ocean", "full")
+        assert quick.scale < full.scale
+
+
+class TestCLI:
+    def test_cli_runs_table2(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_cli_rejects_unknown(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCharts:
+    def test_chart_fig11(self, fig11_rows):
+        from repro.experiments.charts import chart_fig11
+
+        text = chart_fig11(fig11_rows)
+        assert "Ideal" in text and "#" in text
+        # One bar block per workload.
+        assert text.count("procs)") == len(fig11_rows)
+
+    def test_chart_fig12(self):
+        from repro.experiments.charts import chart_fig12
+        from repro.experiments.figures import fig12_breakdown
+
+        rows = fig12_breakdown(preset="quick", workloads=["Adm"])
+        text = chart_fig12(rows)
+        assert "Serial1" in text and "|" in text
+
+    def test_chart_fig14(self):
+        from repro.experiments.charts import chart_fig14
+        from repro.experiments.figures import fig14_scalability
+
+        rows = fig14_scalability(preset="quick", workloads=["Adm"])
+        text = chart_fig14(rows)
+        assert "@ 8 processors" in text and "@ 16 processors" in text
+
+    def test_hbar_clamps(self):
+        from repro.experiments.charts import hbar
+
+        assert hbar(100.0, 1.0, max_width=10) == "#" * 10
+        assert hbar(0.0, 1.0) == ""
+
+    def test_stacked_bar_chars(self):
+        from repro.experiments.charts import stacked_bar
+
+        bar = stacked_bar((0.2, 0.1, 0.3), 0.1)
+        assert bar == "##+..."
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["table2", "--chart"]) == 0
+
+
+class TestClaims:
+    @pytest.fixture(scope="class")
+    def claim_results(self):
+        from repro.experiments.claims import evaluate_claims
+
+        return evaluate_claims(preset="quick")
+
+    def test_all_claims_reproduce_at_quick_preset(self, claim_results):
+        failed = [r.claim_id for r in claim_results if not r.passed]
+        assert not failed, failed
+
+    def test_claim_ids_unique(self, claim_results):
+        ids = [r.claim_id for r in claim_results]
+        assert len(set(ids)) == len(ids) == 7
+
+    def test_render_verdict(self, claim_results):
+        from repro.experiments.claims import render_verdict
+
+        text = render_verdict(claim_results)
+        assert "7/7 claims reproduced" in text
+
+    def test_cli_verdict(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["verdict"]) == 0
+        assert "claims reproduced" in capsys.readouterr().out
+
+    def test_json_rejected_for_verdict(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["verdict", "--json"])

@@ -1,0 +1,77 @@
+"""Tests for the dependence-injection framework."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode, run_hw
+from repro.trace.oracle import DependenceOracle
+from repro.workloads.faults import (
+    InjectedDependence,
+    free_element,
+    inject,
+    inject_each_kind,
+)
+from repro.workloads.synthetic import parallel_nonpriv_loop
+
+PARAMS = MachineParams(num_processors=4)
+# Single-iteration cyclic blocks: dependent iterations land on
+# different processors, so every injected kind must be detected.
+CFG = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK))
+
+
+@pytest.fixture
+def base_loop():
+    return parallel_nonpriv_loop(iterations=16, work_cycles=60)
+
+
+class TestInjection:
+    def test_injection_makes_loop_non_doall(self, base_loop):
+        for variant in inject_each_kind(base_loop, "A", src=3, dst=9):
+            report = DependenceOracle(variant).analyze()
+            assert not report.is_doall, variant.name
+
+    def test_base_loop_untouched(self, base_loop):
+        before = [list(ops) for ops in base_loop.iterations]
+        inject_each_kind(base_loop, "A", src=3, dst=9)
+        assert base_loop.iterations == before
+
+    def test_injected_kind_matches_oracle(self, base_loop):
+        element = free_element(base_loop, "A")
+        for kind in ("flow", "anti", "output"):
+            dep = InjectedDependence(kind, "A", element, 3, 9)
+            report = DependenceOracle(inject(base_loop, dep)).analyze()
+            kinds = {d.kind for d in report.dependences()}
+            assert kind in kinds, (kind, kinds)
+
+    def test_free_element_untouched(self, base_loop):
+        element = free_element(base_loop, "A")
+        assert element not in base_loop.written_elements("A")
+
+    def test_validation(self, base_loop):
+        with pytest.raises(ConfigurationError):
+            InjectedDependence("raw", "A", 0, 1, 2)
+        with pytest.raises(ConfigurationError):
+            InjectedDependence("flow", "A", 0, 5, 5)
+        with pytest.raises(ConfigurationError):
+            inject(base_loop, InjectedDependence("flow", "A", 0, 1, 99))
+
+
+class TestDetection:
+    @pytest.mark.parametrize("kind", ["flow", "anti", "output"])
+    def test_every_kind_detected_by_hw(self, base_loop, kind):
+        element = free_element(base_loop, "A")
+        dep = InjectedDependence(kind, "A", element, 3, 9)
+        result = run_hw(inject(base_loop, dep), PARAMS, CFG)
+        assert not result.passed, kind
+        assert result.failure.element == ("A", element)
+
+    def test_same_processor_injection_passes(self, base_loop):
+        """Both iterations in one dynamic block: legal processor-wise."""
+        element = free_element(base_loop, "A")
+        dep = InjectedDependence("flow", "A", element, 3, 4)
+        cfg = RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 4, VirtualMode.CHUNK)
+        )
+        result = run_hw(inject(base_loop, dep), PARAMS, cfg)
+        assert result.passed

@@ -1,0 +1,122 @@
+"""Tests for the ground-truth dependence oracle."""
+
+from repro.trace import ArraySpec, Loop, read, write
+from repro.trace.oracle import DependenceOracle, Parallelism, lrpd_would_pass
+from repro.types import ProtocolKind
+
+
+def make_loop(iters, length=16, protocol=ProtocolKind.NONPRIV):
+    return Loop("l", [ArraySpec("A", length, 8, protocol)], iters)
+
+
+def classify(iters, **kwargs):
+    return DependenceOracle(make_loop(iters, **kwargs)).analyze()
+
+
+class TestDoall:
+    def test_disjoint_elements(self):
+        report = classify([[read("A", i), write("A", i)] for i in range(4)])
+        assert report.is_doall
+        assert report.classification is Parallelism.DOALL
+
+    def test_read_only_sharing(self):
+        report = classify([[read("A", 0)] for _ in range(4)])
+        assert report.is_doall
+
+    def test_flow_dependence(self):
+        report = classify([[write("A", 0)], [read("A", 0)]])
+        assert not report.is_doall
+        kinds = {d.kind for d in report.dependences()}
+        assert "flow" in kinds
+
+    def test_anti_dependence(self):
+        report = classify([[read("A", 0)], [write("A", 0)]])
+        assert not report.is_doall
+        assert {d.kind for d in report.dependences()} >= {"anti"}
+
+    def test_output_dependence(self):
+        report = classify([[write("A", 0)], [write("A", 0)]])
+        assert not report.is_doall
+        assert {d.kind for d in report.dependences()} >= {"output"}
+
+    def test_same_iteration_read_write_ok(self):
+        report = classify([[read("A", 0), write("A", 0)]])
+        assert report.is_doall
+
+
+class TestPrivatizable:
+    def test_covered_reads(self):
+        # Every iteration writes then reads the same temporary.
+        iters = [[write("A", 0), read("A", 0)] for _ in range(4)]
+        report = classify(iters)
+        assert not report.is_doall  # multiple writers
+        assert report.is_privatizable
+        assert report.classification is Parallelism.PRIVATIZABLE
+
+    def test_uncovered_read_blocks_privatization(self):
+        iters = [[read("A", 0), write("A", 0)] for _ in range(4)]
+        report = classify(iters)
+        assert not report.is_privatizable
+
+    def test_read_only_is_privatizable(self):
+        report = classify([[read("A", 1)] for _ in range(3)])
+        assert report.is_privatizable
+
+
+class TestReadInCopyOut:
+    def test_early_reads_late_writes(self):
+        # Figure 3 pattern: reads-first happen in iterations <= all writes.
+        iters = [
+            [read("A", 0)],            # iter 1: read-first
+            [read("A", 0), write("A", 0)],  # iter 2: read-first then write
+            [write("A", 0)],           # iter 3: write only
+        ]
+        report = classify(iters)
+        assert not report.is_privatizable
+        assert report.is_priv_rico
+        assert report.classification is Parallelism.PRIVATIZABLE_RICO
+
+    def test_read_first_after_write_not_parallel(self):
+        iters = [[write("A", 0)], [read("A", 0)]]
+        report = classify(iters)
+        assert not report.is_priv_rico
+        assert report.classification is Parallelism.NOT_PARALLEL
+
+
+class TestProcessorWise:
+    def test_dependent_iterations_same_chunk_pass(self):
+        # iterations 1,2 depend on each other but map to one processor
+        iters = [[write("A", 0)], [read("A", 0)], [read("A", 5), write("A", 5)]]
+        iteration_map = {1: 1, 2: 1, 3: 2}
+        loop = make_loop(iters)
+        report = DependenceOracle(loop, iteration_map=iteration_map).analyze()
+        assert report.is_doall
+
+    def test_cross_chunk_dependence_fails(self):
+        iters = [[write("A", 0)], [read("A", 0)]]
+        iteration_map = {1: 1, 2: 2}
+        report = DependenceOracle(make_loop(iters), iteration_map).analyze()
+        assert not report.is_doall
+
+
+class TestLRPDPrediction:
+    def test_pass_doall(self):
+        report = classify([[write("A", i)] for i in range(4)])
+        assert lrpd_would_pass(report, {"A": False})
+
+    def test_privatized_needed(self):
+        iters = [[write("A", 0), read("A", 0)] for _ in range(4)]
+        report = classify(iters)
+        assert not lrpd_would_pass(report, {"A": False})
+        assert lrpd_would_pass(report, {"A": True})
+
+    def test_untestable_array_ignored(self):
+        loop = Loop(
+            "l",
+            [ArraySpec("A", 4, 8, ProtocolKind.NONPRIV), ArraySpec("B", 4)],
+            [[write("A", 0), write("B", 0)], [write("B", 0)]],
+        )
+        report = DependenceOracle(loop).analyze()
+        # B is written twice but is not under test.
+        assert "B" not in report.arrays
+        assert report.is_doall

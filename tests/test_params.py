@@ -1,0 +1,89 @@
+"""Tests for machine parameters and validation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    CacheGeometry,
+    ContentionModel,
+    CostModel,
+    LatencyTable,
+    MachineParams,
+    default_params,
+    small_test_params,
+)
+
+
+class TestCacheGeometry:
+    def test_num_lines(self):
+        assert CacheGeometry(32 * 1024, 64).num_lines == 512
+
+    def test_default_line_size(self):
+        assert CacheGeometry(1024).line_bytes == 64
+
+    def test_rejects_non_multiple_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(1000, 64)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(960, 48)
+
+
+class TestLatencyTable:
+    def test_paper_defaults(self):
+        lat = LatencyTable()
+        assert (lat.l1_hit, lat.l2_hit, lat.local_mem) == (1, 12, 60)
+        assert (lat.remote_2hop, lat.remote_3hop) == (208, 291)
+
+    def test_network_one_way_derivation(self):
+        lat = LatencyTable()
+        assert lat.network_one_way == (208 - 60) // 2
+
+    def test_dirty_forward(self):
+        assert LatencyTable().dirty_forward == 291 - 208
+
+
+class TestMachineParams:
+    def test_defaults_match_paper(self):
+        p = default_params()
+        assert p.num_processors == 16
+        assert p.l1.size_bytes == 32 * 1024
+        assert p.l2.size_bytes == 512 * 1024
+        assert p.line_bytes == 64
+
+    def test_num_nodes(self):
+        p = MachineParams(num_processors=8, processors_per_node=2)
+        assert p.num_nodes == 4
+        assert p.node_of_processor(5) == 2
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(num_processors=0)
+
+    def test_rejects_uneven_node_split(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(num_processors=6, processors_per_node=4)
+
+    def test_rejects_mismatched_line_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MachineParams(
+                l1=CacheGeometry(1024, 32), l2=CacheGeometry(4096, 64)
+            )
+
+    def test_small_test_params(self):
+        p = small_test_params(4)
+        assert p.num_processors == 4
+        assert p.l1.num_lines == 16
+
+
+class TestContentionAndCost:
+    def test_contention_defaults(self):
+        c = ContentionModel()
+        assert c.enabled and c.directory_occupancy > 0
+
+    def test_cost_model_positive(self):
+        c = CostModel()
+        assert c.sw_mark_read_instrs > 0
+        assert c.hw_loop_setup_cycles > 0
+        assert c.sw_bitmap_word_elems == 64

@@ -1,0 +1,86 @@
+"""Tests for the bulk phase op-stream builders."""
+
+from repro.runtime.phases import (
+    copy_ops,
+    gather_line_starts,
+    line_indices,
+    merge_analysis_ops,
+    segment_of,
+    sparse_copy_ops,
+    zero_ops,
+)
+from repro.trace.ops import AccessOp, ComputeOp
+
+
+class TestSegments:
+    def test_even(self):
+        segs = [segment_of(100, p, 4) for p in range(4)]
+        assert segs == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_remainder(self):
+        segs = [segment_of(10, p, 4) for p in range(4)]
+        assert segs == [(0, 3), (3, 6), (6, 8), (8, 10)]
+
+    def test_covers_everything(self):
+        marks = set()
+        for p in range(7):
+            lo, hi = segment_of(23, p, 7)
+            marks.update(range(lo, hi))
+        assert marks == set(range(23))
+
+
+class TestLineIndices:
+    def test_aligned(self):
+        assert list(line_indices(0, 16, 8)) == [(0, 8), (8, 8)]
+
+    def test_unaligned_start(self):
+        assert list(line_indices(3, 16, 8)) == [(3, 5), (8, 8)]
+
+    def test_partial_tail(self):
+        assert list(line_indices(0, 10, 8)) == [(0, 8), (8, 2)]
+
+    def test_empty(self):
+        assert list(line_indices(5, 5, 8)) == []
+
+
+class TestCopyOps:
+    def test_one_access_pair_per_line(self):
+        ops = list(copy_ops("A", "B", 0, 16, 8, per_element_cycles=2))
+        accesses = [o for o in ops if isinstance(o, AccessOp)]
+        assert len(accesses) == 4  # 2 lines x (read + write)
+        reads = [o for o in accesses if o.is_read]
+        assert all(o.array == "A" for o in reads)
+
+    def test_compute_proportional_to_elements(self):
+        ops = list(copy_ops("A", "B", 0, 10, 8, per_element_cycles=3))
+        total = sum(o.cycles for o in ops if isinstance(o, ComputeOp))
+        assert total == 30
+
+
+class TestZeroAndSparse:
+    def test_zero_ops_write_only(self):
+        ops = list(zero_ops("S", 0, 16, 8, 1))
+        accesses = [o for o in ops if isinstance(o, AccessOp)]
+        assert all(o.is_write for o in accesses)
+        assert len(accesses) == 2
+
+    def test_gather_line_starts(self):
+        assert gather_line_starts([0, 1, 9, 17], 8) == [0, 8, 16]
+
+    def test_sparse_copy_dedups_lines(self):
+        ops = list(sparse_copy_ops("A", "B", [0, 1, 2, 3], 8, 1))
+        accesses = [o for o in ops if isinstance(o, AccessOp)]
+        assert len(accesses) == 2  # one line -> read+write
+
+
+class TestMergeAnalysis:
+    def test_reads_every_private_copy(self):
+        ops = list(
+            merge_analysis_ops(
+                ["A#Ar@p0", "A#Ar@p1"], ["A#Ar"], 0, 8, 8, 1
+            )
+        )
+        reads = [o for o in ops if isinstance(o, AccessOp) and o.is_read]
+        writes = [o for o in ops if isinstance(o, AccessOp) and o.is_write]
+        assert {o.array for o in reads} == {"A#Ar@p0", "A#Ar@p1"}
+        assert {o.array for o in writes} == {"A#Ar"}

@@ -1,0 +1,239 @@
+"""Tests for the privatization algorithms (Figures 8, 9; §4.1 variant)."""
+
+import pytest
+
+from repro.params import small_test_params
+from repro.sim.machine import Machine
+from repro.types import AccessKind, ProtocolKind
+
+
+def make(n=2, length=64, simple=False):
+    m = Machine(small_test_params(n))
+    a = m.space.allocate("A", length, elem_bytes=8, protocol=ProtocolKind.PRIV)
+    privs = [
+        m.space.allocate(
+            f"A@p{p}", length, elem_bytes=8, protocol=ProtocolKind.PRIV,
+            home_policy="local", local_node=m.params.node_of_processor(p),
+        )
+        for p in range(n)
+    ]
+    m.spec.register_priv(a, privs, simple=simple)
+    m.spec.arm()
+    return m
+
+
+def access(m, t, proc, kind, index, iteration):
+    m.spec.set_iteration(proc, iteration)
+    k = AccessKind.READ if kind == "r" else AccessKind.WRITE
+    addr = m.spec.resolve(proc, "A", index, k)
+    if kind == "r":
+        m.memsys.read(proc, addr, t)
+    else:
+        m.memsys.write(proc, addr, t)
+
+
+def run(m, trace):
+    """trace: list of (time, proc, 'r'|'w', index, iteration)."""
+    for t, p, kind, i, it in trace:
+        access(m, t, p, kind, i, it)
+    m.engine.drain()
+    return m.spec.controller
+
+
+class TestFullPrivPassing:
+    def test_covered_reads(self):
+        m = make()
+        c = run(m, [
+            (0, 0, "w", 3, 1), (10, 0, "r", 3, 1),
+            (20, 1, "w", 3, 2), (30, 1, "r", 3, 2),
+        ])
+        assert not c.failed
+
+    def test_read_only_element(self):
+        m = make()
+        c = run(m, [(0, 0, "r", 3, 1), (100, 1, "r", 3, 2), (200, 0, "r", 3, 3)])
+        assert not c.failed
+
+    def test_read_first_before_all_writes(self):
+        # Figure 3: read-first iterations precede writing iterations.
+        m = make()
+        c = run(m, [(0, 0, "r", 3, 1), (100, 1, "w", 3, 2), (200, 1, "w", 3, 3)])
+        assert not c.failed
+
+    def test_same_iteration_read_then_write(self):
+        m = make()
+        c = run(m, [(0, 0, "r", 3, 2), (10, 0, "w", 3, 2), (100, 1, "w", 3, 3)])
+        assert not c.failed
+
+    def test_writes_in_many_iterations(self):
+        m = make()
+        c = run(m, [(i * 50, i % 2, "w", 3, i + 1) for i in range(6)])
+        assert not c.failed
+
+
+class TestFullPrivFailing:
+    def test_read_first_after_write(self):
+        m = make()
+        c = run(m, [(0, 0, "w", 3, 1), (500, 1, "r", 3, 2)])
+        assert c.failed
+        assert c.failure.element == ("A", 3)
+
+    def test_write_before_pending_read_first(self):
+        # Signals arrive in the opposite order: read-first processed
+        # first, then the earlier-iteration write FAILs at (i)/(j).
+        m = make()
+        c = run(m, [(0, 1, "r", 3, 5), (1, 0, "w", 3, 2)])
+        assert c.failed
+
+    def test_failure_carries_iteration(self):
+        m = make()
+        c = run(m, [(0, 0, "w", 3, 1), (500, 1, "r", 3, 4)])
+        assert c.failure.iteration in (1, 4)
+
+
+class TestReadIn:
+    def test_read_in_counted(self):
+        m = make()
+        run(m, [(0, 0, "r", 3, 1)])
+        assert m.spec.stats.read_ins == 1
+
+    def test_read_in_only_for_untouched_line(self):
+        m = make()
+        run(m, [(0, 0, "r", 3, 1), (100, 0, "r", 4, 2)])
+        # Second read is in the same line: no second read-in.
+        assert m.spec.stats.read_ins == 1
+
+    def test_read_in_latency_added(self):
+        m = make()
+        m.spec.set_iteration(0, 1)
+        addr = m.spec.resolve(0, "A", 3, AccessKind.READ)
+        res = m.memsys.read(0, addr, 0.0)
+        # Private copy is local, but the read-in consults the shared home.
+        assert res.total > m.params.latency.local_mem
+
+
+class TestCopyOut:
+    def test_last_writer_wins(self):
+        m = make()
+        run(m, [(0, 0, "w", 3, 1), (100, 1, "w", 3, 4), (200, 0, "w", 5, 2)])
+        table = m.spec.priv.shared_table("A")
+        assert int(table.last_w_proc[3]) == 1
+        assert int(table.last_w_proc[5]) == 0
+        assert m.spec.copy_out_elements("A") == 2
+
+    def test_no_writes_no_copy_out(self):
+        m = make()
+        run(m, [(0, 0, "r", 3, 1)])
+        assert m.spec.copy_out_elements("A") == 0
+
+
+class TestPrivateState:
+    def test_pmax_tracking(self):
+        m = make()
+        run(m, [(0, 0, "w", 3, 2), (50, 0, "w", 3, 5), (100, 0, "r", 7, 4)])
+        table = m.spec.priv.private_table("A", 0)
+        assert int(table.pmax_w[3]) == 5
+        assert int(table.pmax_r1st[7]) == 4
+
+    def test_tag_epoch_prevents_duplicate_signals(self):
+        m = make()
+        run(m, [(0, 0, "r", 3, 1), (10, 0, "r", 3, 1), (20, 0, "r", 3, 1)])
+        # One read-in for the first read; repeated hits in the same
+        # iteration send no further read-first signals.
+        assert m.spec.stats.read_first_signals == 0  # first was a miss
+        assert m.spec.stats.shared_signals <= 1
+
+
+class TestSimpleVariant:
+    def test_covered_reads_pass(self):
+        m = make(simple=True)
+        c = run(m, [
+            (0, 0, "w", 3, 1), (10, 0, "r", 3, 1),
+            (100, 1, "w", 3, 2), (110, 1, "r", 3, 2),
+        ])
+        assert not c.failed
+
+    def test_read_only_passes(self):
+        m = make(simple=True)
+        c = run(m, [(0, 0, "r", 3, 1), (100, 1, "r", 3, 2)])
+        assert not c.failed
+
+    def test_read_first_of_written_element_fails_any_order(self):
+        m = make(simple=True)
+        c = run(m, [(0, 0, "w", 3, 1), (500, 1, "r", 3, 2)])
+        assert c.failed
+        m = make(simple=True)
+        c = run(m, [(0, 1, "r", 3, 1), (500, 0, "w", 3, 2)])
+        assert c.failed
+
+    def test_local_write_any_detection(self):
+        # Same processor writes in iteration 1, reads first in iteration
+        # 2: caught locally without shared-directory traffic.
+        m = make(simple=True)
+        c = run(m, [(0, 0, "w", 3, 1), (100, 0, "r", 3, 2)])
+        assert c.failed
+        assert "local WriteAny" in c.failure.reason
+
+    def test_reads_resolve_to_shared_until_written(self):
+        m = make(simple=True)
+        shared = m.space.array("A")
+        private = m.space.array("A@p0")
+        assert m.spec.resolve(0, "A", 3, AccessKind.READ) == shared.addr_of(3)
+        run(m, [(0, 0, "w", 3, 1)])
+        assert m.spec.resolve(0, "A", 3, AccessKind.READ) == private.addr_of(3)
+
+    def test_rico_pattern_fails_in_simple_but_passes_in_full(self):
+        # Read-first before all writes needs read-in hardware.
+        trace = [(0, 0, "r", 3, 1), (500, 1, "w", 3, 2)]
+        m_full = make()
+        assert not run(m_full, list(trace)).failed
+        m_simple = make(simple=True)
+        assert run(m_simple, list(trace)).failed
+
+
+class TestRegistrationValidation:
+    def test_wrong_copy_count_rejected(self):
+        from repro.errors import ConfigurationError
+
+        m = Machine(small_test_params(2))
+        a = m.space.allocate("A", 8, protocol=ProtocolKind.PRIV)
+        p0 = m.space.allocate("A@p0", 8, protocol=ProtocolKind.PRIV)
+        with pytest.raises(ConfigurationError):
+            m.spec.register_priv(a, [p0])
+
+    def test_length_mismatch_rejected(self):
+        from repro.errors import ConfigurationError
+
+        m = Machine(small_test_params(2))
+        a = m.space.allocate("A", 8, protocol=ProtocolKind.PRIV)
+        copies = [
+            m.space.allocate("A@p0", 8, protocol=ProtocolKind.PRIV),
+            m.space.allocate("A@p1", 16, protocol=ProtocolKind.PRIV),
+        ]
+        with pytest.raises(ConfigurationError):
+            m.spec.register_priv(a, copies)
+
+
+class TestSynchronousReadRouting:
+    def test_covered_read_routes_private_before_signal_arrives(self):
+        """The write's deferred first-write signal has not reached the
+        private directory yet, but the hardware's local state routes the
+        same-iteration read to the private copy immediately."""
+        m = make(simple=True)
+        m.spec.set_iteration(0, 1)
+        w_addr = m.spec.resolve(0, "A", 3, AccessKind.WRITE)
+        m.memsys.write(0, w_addr, 0.0)
+        # No drain: the signal is still in flight.
+        r_addr = m.spec.resolve(0, "A", 3, AccessKind.READ)
+        assert r_addr == w_addr
+        assert r_addr == m.space.array("A@p0").addr_of(3)
+
+    def test_routing_reset_on_rearm(self):
+        m = make(simple=True)
+        m.spec.set_iteration(0, 1)
+        m.memsys.write(0, m.spec.resolve(0, "A", 3, AccessKind.WRITE), 0.0)
+        m.engine.drain()
+        m.spec.arm()
+        assert m.spec.resolve(0, "A", 3, AccessKind.READ) == m.space.array(
+            "A"
+        ).addr_of(3)

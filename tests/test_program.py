@@ -1,0 +1,91 @@
+"""Tests for the application-level program model."""
+
+import pytest
+
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.runtime.program import (
+    LoopExecution,
+    Policy,
+    Program,
+    SerialSection,
+    compare_policies,
+    run_program,
+)
+from repro.workloads import TrackWorkload
+from repro.workloads.synthetic import failing_loop, parallel_nonpriv_loop
+
+PARAMS = MachineParams(num_processors=4)
+CFG = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK))
+
+
+def good_program(executions=3, serial=5_000.0):
+    sections = []
+    for _ in range(executions):
+        sections.append(SerialSection(serial))
+        sections.append(
+            LoopExecution("good", parallel_nonpriv_loop(iterations=32, work_cycles=300))
+        )
+    return Program(sections)
+
+
+def bad_program(executions=4):
+    sections = [
+        LoopExecution("bad", failing_loop(4, iterations=32, work_cycles=300))
+        for _ in range(executions)
+    ]
+    return Program(sections)
+
+
+class TestProgramStructure:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program([])
+
+    def test_from_workload(self):
+        program = Program.from_workload(TrackWorkload(scale=0.5), executions=2)
+        loops = program.loop_executions()
+        assert len(loops) == 2
+        assert all(le.site == "Track" for le in loops)
+
+
+class TestPolicies:
+    def test_speculate_beats_serial_on_parallel_loops(self):
+        serial = run_program(good_program(), PARAMS, CFG, Policy.SERIAL)
+        spec = run_program(good_program(), PARAMS, CFG, Policy.SPECULATE)
+        assert spec.total_cycles < serial.total_cycles
+
+    def test_serial_sections_charged_identically(self):
+        serial = run_program(good_program(), PARAMS, CFG, Policy.SERIAL)
+        spec = run_program(good_program(), PARAMS, CFG, Policy.SPECULATE)
+        assert serial.serial_section_cycles == spec.serial_section_cycles == 15_000.0
+
+    def test_amdahl_bound(self):
+        """Huge serial sections bound the application speedup near 1."""
+        big = 2_000_000.0
+        serial = run_program(good_program(serial=big), PARAMS, CFG, Policy.SERIAL)
+        spec = run_program(good_program(serial=big), PARAMS, CFG, Policy.SPECULATE)
+        assert serial.total_cycles / spec.total_cycles < 1.2
+
+    def test_adaptive_learns_on_failing_site(self):
+        adaptive = run_program(
+            bad_program(), PARAMS, CFG, Policy.ADAPTIVE, explore_after=50
+        )
+        always = run_program(bad_program(), PARAMS, CFG, Policy.SPECULATE)
+        assert adaptive.total_cycles < always.total_cycles
+        summary = adaptive.sites["bad"]
+        assert summary.speculated < summary.executions
+
+    def test_site_summaries(self):
+        result = run_program(good_program(), PARAMS, CFG, Policy.SPECULATE)
+        summary = result.sites["good"]
+        assert summary.executions == 3
+        assert summary.speculated == 3 and summary.passed == 3
+        assert result.loop_fraction > 0
+
+    def test_compare_policies_builds_fresh_programs(self):
+        results = compare_policies(lambda: good_program(), PARAMS, CFG)
+        assert set(results) == {Policy.SERIAL, Policy.SPECULATE, Policy.ADAPTIVE}
+        assert results[Policy.SPECULATE].total_cycles <= results[
+            Policy.SERIAL
+        ].total_cycles

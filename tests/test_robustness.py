@@ -1,0 +1,156 @@
+"""Edge cases and robustness of the runtime drivers."""
+
+import pytest
+
+from repro.params import MachineParams
+from repro.runtime import (
+    RunConfig,
+    SchedulePolicy,
+    ScheduleSpec,
+    VirtualMode,
+    run_hw,
+    run_ideal,
+    run_serial,
+    run_sw,
+)
+from repro.trace import ArraySpec, Loop, compute, local, read, write
+from repro.types import ProtocolKind, Scenario
+
+PARAMS = MachineParams(num_processors=4)
+STATIC = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+)
+
+
+class TestPlainLoops:
+    """Loops with nothing under test: speculation must be a no-op."""
+
+    def plain_loop(self):
+        body = [[read("A", i), compute(20), write("A", i)] for i in range(16)]
+        return Loop("plain", [ArraySpec("A", 64, 8)], body)
+
+    def test_hw_passes_trivially(self):
+        r = run_hw(self.plain_loop(), PARAMS, STATIC)
+        assert r.passed and r.spec_messages == 0
+
+    def test_sw_passes_trivially(self):
+        r = run_sw(self.plain_loop(), PARAMS, STATIC)
+        assert r.passed
+        assert "merge-analysis" in r.phases
+
+    def test_all_scenarios_agree_on_phases(self):
+        loop = self.plain_loop()
+        serial = run_serial(loop, PARAMS)
+        ideal = run_ideal(loop, PARAMS, STATIC)
+        assert serial.passed and ideal.passed
+
+
+class TestDegenerateShapes:
+    def test_single_iteration_loop(self):
+        loop = Loop(
+            "one", [ArraySpec("A", 8, 8, ProtocolKind.NONPRIV)],
+            [[read("A", 0), write("A", 0)]],
+        )
+        for runner in (run_serial, lambda l, p: run_hw(l, p, STATIC)):
+            assert runner(loop, PARAMS).passed
+
+    def test_more_processors_than_iterations(self):
+        loop = Loop(
+            "tiny", [ArraySpec("A", 8, 8, ProtocolKind.NONPRIV)],
+            [[write("A", i)] for i in range(2)],
+        )
+        r = run_hw(loop, PARAMS, STATIC)
+        assert r.passed
+
+    def test_compute_only_loop(self):
+        loop = Loop("compute", [ArraySpec("A", 8, 8)], [[compute(100)] for _ in range(8)])
+        r = run_hw(loop, PARAMS, STATIC)
+        assert r.passed
+        assert "backup" not in r.phases or r.phases.get("backup", 0) >= 0
+
+    def test_local_ops_only(self):
+        loop = Loop("local", [ArraySpec("A", 8, 8)], [[local(), local()] for _ in range(4)])
+        assert run_serial(loop, PARAMS).passed
+
+
+class TestThreeProtocolLoop:
+    """One loop mixing NONPRIV, PRIV and PRIV_SIMPLE arrays."""
+
+    def mixed_loop(self, inject_failure=False):
+        body = []
+        for i in range(16):
+            ops = [
+                # NONPRIV: disjoint grid updates.
+                read("G", i), compute(20), write("G", i),
+                # PRIV_SIMPLE scratch: write then read.
+                write("T", i % 4), compute(10), read("T", i % 4),
+            ]
+            # PRIV with read-in: early iterations read-first, later write.
+            if i < 4:
+                ops.append(read("H", i % 4))
+            else:
+                ops.append(write("H", i % 4))
+            body.append(ops)
+        if inject_failure:
+            body[8].insert(0, read("G", 2))  # G[2] owned by iteration 3
+        arrays = [
+            ArraySpec("G", 64, 8, ProtocolKind.NONPRIV),
+            ArraySpec("T", 16, 8, ProtocolKind.PRIV_SIMPLE),
+            ArraySpec("H", 16, 8, ProtocolKind.PRIV, live_out=True),
+        ]
+        return Loop("mixed", arrays, body)
+
+    def test_mixed_loop_passes(self):
+        cfg = RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.BLOCK_CYCLIC, 1, VirtualMode.CHUNK)
+        )
+        r = run_hw(self.mixed_loop(), PARAMS, cfg)
+        assert r.passed
+        assert "copy-out" in r.phases  # H is live-out
+
+    def test_mixed_loop_failure_detected(self):
+        cfg = RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.BLOCK_CYCLIC, 1, VirtualMode.CHUNK)
+        )
+        r = run_hw(self.mixed_loop(inject_failure=True), PARAMS, cfg)
+        assert not r.passed
+        assert r.failure.element[0] == "G"
+
+    def test_mixed_loop_sw(self):
+        cfg = RunConfig(
+            schedule=ScheduleSpec(
+                SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION
+            ),
+            sw_read_in=True,
+        )
+        r = run_sw(self.mixed_loop(), PARAMS, cfg)
+        assert r.passed
+
+
+class TestSMPNodes:
+    def test_processors_per_node(self):
+        import dataclasses
+
+        params = dataclasses.replace(PARAMS, processors_per_node=2)
+        loop = Loop(
+            "smp", [ArraySpec("A", 64, 8, ProtocolKind.NONPRIV)],
+            [[read("A", i), write("A", i)] for i in range(8)],
+        )
+        serial = run_serial(loop, params)
+        hw = run_hw(loop, params, STATIC, serial_result=serial)
+        assert hw.passed
+        assert params.num_nodes == 2
+
+    def test_single_node_machine_is_all_local(self):
+        import dataclasses
+
+        params = dataclasses.replace(
+            PARAMS, num_processors=4, processors_per_node=4
+        )
+        loop = Loop(
+            "uma", [ArraySpec("A", 64, 8, ProtocolKind.NONPRIV)],
+            [[read("A", i), write("A", i)] for i in range(8)],
+        )
+        hw = run_hw(loop, params, STATIC)
+        assert hw.passed
+        assert hw.mem.remote_2hop == 0 and hw.mem.remote_3hop == 0

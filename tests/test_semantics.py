@@ -1,0 +1,211 @@
+"""Value-level tests: speculative execution must match serial results."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.semantics import ConcreteLoop, speculative_run
+from repro.semantics.arrays import ArrayProxy, TraceRecorder, make_proxies
+from repro.types import ProtocolKind
+
+PARAMS = MachineParams(num_processors=4)
+DYN = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 2, VirtualMode.CHUNK))
+
+
+def serial_reference(body, iterations, arrays):
+    ref = {k: v.copy() for k, v in arrays.items()}
+    recorder = TraceRecorder()
+    proxies = make_proxies(ref, recorder)
+    for i in range(iterations):
+        body(i, proxies)
+        recorder.take()
+    return ref
+
+
+class TestProxies:
+    def test_get_set_and_recording(self):
+        rec = TraceRecorder()
+        a = ArrayProxy("A", np.zeros(4), rec)
+        a[1] = 5.0
+        assert a[1] == 5.0
+        ops = rec.take()
+        assert [o.kind.value for o in ops] == ["write", "read"]
+        assert rec.take() == []
+
+    def test_bounds_checked(self):
+        a = ArrayProxy("A", np.zeros(4), TraceRecorder())
+        with pytest.raises(IndexError):
+            a[4]
+        with pytest.raises(IndexError):
+            a[-1] = 0
+
+
+class TestTracing:
+    def test_trace_marks_modified(self):
+        def body(i, arrs):
+            arrs["A"][i] = arrs["B"][i]
+
+        loop = ConcreteLoop(
+            body, 4, {"A": np.zeros(8), "B": np.ones(8)},
+            {"A": ProtocolKind.NONPRIV},
+        )
+        traced = loop.trace()
+        assert traced.array("A").modified
+        assert not traced.array("B").modified
+
+    def test_trace_does_not_mutate(self):
+        data = np.zeros(8)
+
+        def body(i, arrs):
+            arrs["A"][i] = 42.0
+
+        ConcreteLoop(body, 4, {"A": data}, {"A": ProtocolKind.NONPRIV}).trace()
+        assert not data.any()
+
+
+class TestSpeculativeRun:
+    def test_parallel_loop_commits_speculative_results(self):
+        rng = np.random.default_rng(1)
+        f = rng.permutation(64)
+        a0 = rng.random(64)
+
+        def body(i, arrs):
+            j = int(f[i])
+            arrs["A"][j] = arrs["A"][j] * 2.0 + 1.0
+
+        ref = serial_reference(body, 32, {"A": a0})
+        loop = ConcreteLoop(body, 32, {"A": a0.copy()}, {"A": ProtocolKind.NONPRIV})
+        out = speculative_run(loop, PARAMS, DYN)
+        assert out.passed and not out.reexecuted_serially
+        np.testing.assert_allclose(out.arrays["A"], ref["A"])
+
+    def test_dependent_loop_recovers_serially(self):
+        a0 = np.arange(32, dtype=float)
+
+        def body(i, arrs):
+            arrs["A"][(i + 1) % 16] = arrs["A"][i % 16] + 1
+
+        ref = serial_reference(body, 16, {"A": a0})
+        loop = ConcreteLoop(body, 16, {"A": a0.copy()}, {"A": ProtocolKind.NONPRIV})
+        out = speculative_run(loop, PARAMS, DYN)
+        assert not out.passed and out.reexecuted_serially
+        np.testing.assert_allclose(out.arrays["A"], ref["A"])
+
+    def test_privatized_scratch_with_copy_out(self):
+        rng = np.random.default_rng(2)
+        a0 = rng.random(16)
+
+        def body(i, arrs):
+            arrs["W"][0] = float(i)
+            arrs["W"][1] = arrs["W"][0] * 2
+            _ = arrs["W"][1]
+
+        ref = serial_reference(body, 12, {"W": a0})
+        loop = ConcreteLoop(
+            body, 12, {"W": a0.copy()}, {"W": ProtocolKind.PRIV},
+            live_out=("W",),
+        )
+        out = speculative_run(loop, PARAMS, DYN)
+        assert out.passed
+        np.testing.assert_allclose(out.arrays["W"], ref["W"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(  # per iteration: list of (is_write, index)
+        st.lists(st.tuples(st.booleans(), st.integers(0, 7)), min_size=1, max_size=4),
+        min_size=1,
+        max_size=8,
+    )
+)
+def test_results_always_equal_serial(trace):
+    """The correctness contract: pass or fail, speculative_run's output
+    matches serial execution."""
+
+    def body(i, arrs):
+        for is_write, idx in trace[i]:
+            if is_write:
+                arrs["A"][idx] = arrs["A"][idx] + i + 1
+            else:
+                _ = arrs["A"][idx]
+
+    a0 = np.arange(8, dtype=float)
+    ref = serial_reference(body, len(trace), {"A": a0})
+    loop = ConcreteLoop(
+        body, len(trace), {"A": a0.copy()}, {"A": ProtocolKind.NONPRIV}
+    )
+    out = speculative_run(loop, PARAMS, DYN)
+    np.testing.assert_allclose(out.arrays["A"], ref["A"])
+
+
+class TestExceptionHandling:
+    """§2.2: an exception during speculation aborts and restarts serially."""
+
+    def test_genuine_exception_propagates_after_serial_retry(self):
+        calls = []
+
+        def body(i, arrs):
+            calls.append(i)
+            if i == 5:
+                raise ZeroDivisionError("genuine bug")
+            arrs["A"][i % 8] = i
+
+        loop = ConcreteLoop(
+            body, 8, {"A": np.zeros(8)}, {"A": ProtocolKind.NONPRIV}
+        )
+        with pytest.raises(ZeroDivisionError):
+            speculative_run(loop, PARAMS, DYN)
+        # The body ran speculatively (tracing) and then serially again.
+        assert calls.count(5) == 2
+
+    def test_arrays_reflect_serial_prefix_on_genuine_exception(self):
+        def body(i, arrs):
+            arrs["A"][i % 8] = float(i + 1)
+            if i == 3:
+                raise ValueError("boom")
+
+        a0 = np.zeros(8)
+        loop = ConcreteLoop(
+            body, 8, {"A": a0}, {"A": ProtocolKind.NONPRIV}
+        )
+        with pytest.raises(ValueError):
+            speculative_run(loop, PARAMS, DYN)
+        # Iterations 0..3 executed serially before the fault; nothing
+        # from the aborted speculation leaked in.
+        np.testing.assert_allclose(a0[:4], [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_allclose(a0[4:], 0.0)
+
+    def test_transient_exception_absorbed(self):
+        """An exception only the speculative attempt sees (here: state
+        poisoned by the first pass) is absorbed by the serial retry."""
+        state = {"armed": True}
+
+        def body(i, arrs):
+            if i == 2 and state.pop("armed", None):
+                raise RuntimeError("speculation hazard")
+            arrs["A"][i % 8] = i
+
+        loop = ConcreteLoop(
+            body, 8, {"A": np.zeros(8)}, {"A": ProtocolKind.NONPRIV}
+        )
+        out = speculative_run(loop, PARAMS, DYN)
+        assert not out.passed and out.reexecuted_serially
+        assert isinstance(out.speculative_exception, RuntimeError)
+        assert out.simulation is None
+        np.testing.assert_allclose(out.arrays["A"], [0, 1, 2, 3, 4, 5, 6, 7])
+
+    def test_out_of_bounds_subscript_treated_as_hazard(self):
+        flaky = {"first": True}
+
+        def body(i, arrs):
+            idx = 99 if (i == 1 and flaky.pop("first", None)) else i % 8
+            arrs["A"][idx] = i
+
+        loop = ConcreteLoop(
+            body, 4, {"A": np.zeros(8)}, {"A": ProtocolKind.NONPRIV}
+        )
+        out = speculative_run(loop, PARAMS, DYN)
+        assert isinstance(out.speculative_exception, IndexError)
+        assert out.reexecuted_serially

@@ -1,0 +1,76 @@
+"""Tests for JSON serialization of results."""
+
+import json
+
+import pytest
+
+from repro.experiments.figures import table2_state
+from repro.experiments.scenarios import run_workload
+from repro.experiments.serialize import (
+    rows_to_json,
+    run_result_to_dict,
+    workload_results_to_dict,
+)
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode, run_hw, run_sw
+from repro.workloads import AdmWorkload
+from repro.workloads.synthetic import failing_loop, parallel_nonpriv_loop
+
+PARAMS = MachineParams(num_processors=4)
+CFG = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK))
+SW_CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
+)
+
+
+class TestRunResultSerialization:
+    def test_passing_run_round_trips_through_json(self):
+        r = run_hw(parallel_nonpriv_loop(iterations=16), PARAMS, CFG)
+        d = run_result_to_dict(r)
+        parsed = json.loads(json.dumps(d))
+        assert parsed["passed"] is True
+        assert parsed["scenario"] == "HW"
+        assert parsed["wall_cycles"] > 0
+        assert set(parsed["breakdown"]) == {"busy", "sync", "mem"}
+        assert "failure" not in parsed
+
+    def test_failing_run_includes_failure(self):
+        r = run_hw(failing_loop(3, iterations=16), PARAMS, CFG)
+        d = run_result_to_dict(r)
+        assert d["passed"] is False
+        assert d["failure"]["element"][0] == "A"
+        assert d["detection_cycle"] is not None
+        json.dumps(d)  # must be JSON-clean
+
+    def test_sw_run_includes_lrpd(self):
+        r = run_sw(parallel_nonpriv_loop(iterations=16), PARAMS, SW_CFG)
+        d = run_result_to_dict(r)
+        assert d["lrpd"]["passed"] is True
+        assert d["lrpd"]["arrays"]["A"]["decided_by"] in ("doall", "privatized")
+        json.dumps(d)
+
+    def test_mem_stats_serialized(self):
+        r = run_hw(parallel_nonpriv_loop(iterations=16), PARAMS, CFG)
+        d = run_result_to_dict(r)
+        assert d["mem"]["reads"] > 0
+
+
+class TestWorkloadSerialization:
+    def test_workload_results(self):
+        res = run_workload(AdmWorkload(scale=0.2), executions=1)
+        d = workload_results_to_dict(res)
+        parsed = json.loads(json.dumps(d))
+        assert parsed["workload"] == "Adm"
+        assert parsed["scenarios"]["Serial"]["speedup"] == 1.0
+        assert parsed["scenarios"]["HW"]["speedup"] > 1.0
+
+
+class TestRowSerialization:
+    def test_table2_rows(self):
+        text = rows_to_json(table2_state())
+        rows = json.loads(text)
+        assert all(r["hw_bits"] < r["sw_bits"] for r in rows)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            rows_to_json([object()])

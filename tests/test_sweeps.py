@@ -1,0 +1,86 @@
+"""Tests for the generic parameter-sweep API."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    SweepPoint,
+    _replace_path,
+    format_sweep,
+    sweep_config,
+    sweep_machine,
+)
+from repro.params import MachineParams, default_params
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.types import Scenario
+from repro.workloads.synthetic import parallel_nonpriv_loop
+
+
+@pytest.fixture
+def loop():
+    return parallel_nonpriv_loop(iterations=16, work_cycles=60)
+
+
+class TestReplacePath:
+    def test_top_level(self):
+        p = _replace_path(default_params(4), "num_processors", 8)
+        assert p.num_processors == 8
+
+    def test_nested(self):
+        p = _replace_path(default_params(4), "contention.directory_occupancy", 99)
+        assert p.contention.directory_occupancy == 99
+        assert p.num_processors == 4  # untouched
+
+    def test_unknown_field(self):
+        with pytest.raises(AttributeError):
+            _replace_path(default_params(4), "bogus.field", 1)
+
+
+class TestSweepMachine:
+    def test_processor_sweep(self, loop):
+        points = sweep_machine(
+            loop, "num_processors", [2, 4], scenario=Scenario.HW,
+            base_params=default_params(2),
+        )
+        assert [p.value for p in points] == [2, 4]
+        assert all(p.result.passed for p in points)
+        assert all(p.speedup is not None for p in points)
+
+    def test_occupancy_sweep_monotone(self, loop):
+        points = sweep_machine(
+            loop, "contention.directory_occupancy", [0, 64],
+            scenario=Scenario.IDEAL, base_params=default_params(8),
+        )
+        assert points[0].result.wall <= points[1].result.wall
+
+    def test_serial_scenario_skips_reference(self, loop):
+        points = sweep_machine(
+            loop, "num_processors", [2], scenario=Scenario.SERIAL,
+            base_params=default_params(2),
+        )
+        assert points[0].speedup is None
+
+
+class TestSweepConfig:
+    def test_chunk_sweep(self, loop):
+        def cfg(chunk):
+            return RunConfig(
+                schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, chunk, VirtualMode.CHUNK)
+            )
+
+        points = sweep_config(
+            loop, cfg, [1, 4], scenario=Scenario.HW, params=default_params(4)
+        )
+        assert len(points) == 2
+        assert all(p.result.passed for p in points)
+        # Shared serial reference across points.
+        assert points[0].serial_wall == points[1].serial_wall
+
+
+class TestFormat:
+    def test_format_sweep(self, loop):
+        points = sweep_machine(
+            loop, "num_processors", [2], scenario=Scenario.HW,
+            base_params=default_params(2),
+        )
+        text = format_sweep(points, label="procs")
+        assert "procs" in text and "speedup" in text

@@ -1,0 +1,84 @@
+"""Tests for the outcome-validation module."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.trace import ArraySpec, Loop, read, write
+from repro.types import ProtocolKind
+from repro.validation import Expectation, expected_outcome, validate_hw_run
+from repro.workloads.synthetic import (
+    failing_loop,
+    parallel_nonpriv_loop,
+    privatizable_loop,
+)
+
+PARAMS = MachineParams(num_processors=4)
+DYN = RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK))
+STATIC = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
+)
+
+
+class TestExpectations:
+    def test_parallel_loop_must_pass(self):
+        report = expected_outcome(parallel_nonpriv_loop(iterations=16), DYN, PARAMS)
+        assert report.expectation is Expectation.MUST_PASS
+
+    def test_dependent_loop_schedule_dependent_under_dynamic(self):
+        report = expected_outcome(failing_loop(3, iterations=16), DYN, PARAMS)
+        assert report.expectation is Expectation.SCHEDULE_DEPENDENT
+
+    def test_dependent_loop_resolved_under_static(self):
+        # With static chunks the assignment is known, so the expectation
+        # is definite (either the dep pair shares a chunk or it doesn't).
+        report = expected_outcome(failing_loop(3, iterations=16), STATIC, PARAMS)
+        assert report.expectation in (Expectation.MUST_PASS, Expectation.MUST_FAIL)
+
+    def test_priv_loop_exact(self):
+        loop = privatizable_loop(iterations=16, simple=False)
+        report = expected_outcome(loop, DYN, PARAMS)
+        assert report.arrays["W"].expectation is Expectation.MUST_PASS
+
+    def test_priv_violation_must_fail(self):
+        body = [[write("W", 0)], [read("W", 0)]]
+        loop = Loop("v", [ArraySpec("W", 8, 8, ProtocolKind.PRIV)], body)
+        report = expected_outcome(loop, DYN, PARAMS)
+        assert report.arrays["W"].expectation is Expectation.MUST_FAIL
+
+
+class TestValidation:
+    def test_passing_run_consistent(self):
+        report = validate_hw_run(parallel_nonpriv_loop(iterations=16), PARAMS, DYN)
+        assert report.hw_passed and report.consistent
+
+    def test_failing_priv_run_consistent(self):
+        body = [[write("W", 0)], [read("W", 0)]]
+        loop = Loop("v", [ArraySpec("W", 8, 8, ProtocolKind.PRIV)], body)
+        report = validate_hw_run(loop, PARAMS, DYN)
+        assert report.hw_passed is False and report.consistent
+
+    def test_schedule_dependent_always_consistent(self):
+        report = validate_hw_run(failing_loop(3, iterations=16), PARAMS, DYN)
+        assert report.consistent
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.tuples(st.booleans(), st.integers(0, 5)), max_size=4),
+        min_size=1, max_size=8,
+    ),
+    st.sampled_from([ProtocolKind.NONPRIV, ProtocolKind.PRIV, ProtocolKind.PRIV_SIMPLE]),
+)
+def test_validation_consistent_on_random_loops(trace, protocol):
+    """End-to-end: the simulated hardware always agrees with the oracle
+    within the validation module's expectation semantics."""
+    iters = [
+        [write("A", e) if w else read("A", e) for (w, e) in ops]
+        for ops in trace
+    ]
+    loop = Loop("rand", [ArraySpec("A", 6, 8, protocol)], iters)
+    report = validate_hw_run(loop, PARAMS, DYN)
+    assert report.consistent, report.arrays["A"].reason
