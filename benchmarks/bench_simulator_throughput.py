@@ -4,10 +4,17 @@ Measures the raw speed of the simulation substrate itself — simulated
 memory accesses per host second with and without the speculative
 protocol attached — so regressions in the hot paths show up.  Uses real
 pytest-benchmark rounds (unlike the figure benches, which run once).
+
+Also guards the telemetry layer's null-path promise: a machine with a
+bus attached but no per-access subscribers must run within 3% of a
+machine with no bus at all.
 """
+
+import time
 
 import pytest
 
+from repro.obs import EventBus, PhaseBeginEvent
 from repro.params import default_params
 from repro.sim.machine import Machine
 from repro.types import ProtocolKind
@@ -71,3 +78,42 @@ def test_throughput_event_engine(benchmark):
         machine.engine.run_phase(streams)
 
     benchmark.pedantic(drive, setup=setup, rounds=3)
+
+
+def _build_machine(attach_bus: bool):
+    machine = Machine(default_params(8), with_speculation=False)
+    decl = machine.space.allocate("A", 16_384, elem_bytes=8)
+    if attach_bus:
+        bus = EventBus()
+        # A coarse subscriber only: per-access telemetry stays off,
+        # exercising the wants_access fast-path guard.
+        bus.subscribe(PhaseBeginEvent, lambda e: None)
+        machine.attach_bus(bus)
+    return machine, decl
+
+
+def _measure(attach_bus: bool) -> float:
+    machine, decl = _build_machine(attach_bus)
+    start = time.perf_counter()
+    drive_plain(machine, decl)
+    return time.perf_counter() - start
+
+
+def test_telemetry_off_overhead_under_3_percent():
+    """Acceptance smoke: the telemetry-off path (bus attached, no
+    per-access subscribers) costs < 3% over a machine with no bus.
+
+    Trials are interleaved and the per-variant minimum is compared, so
+    host-load drift hits both variants equally.
+    """
+    _measure(False)  # warm code paths
+    _measure(True)
+    baseline, with_bus = float("inf"), float("inf")
+    for _ in range(15):
+        baseline = min(baseline, _measure(False))
+        with_bus = min(with_bus, _measure(True))
+    overhead = with_bus / baseline - 1.0
+    assert overhead < 0.03, (
+        f"telemetry-off overhead {overhead:.2%} "
+        f"(baseline {baseline * 1e3:.2f}ms, bus {with_bus * 1e3:.2f}ms)"
+    )

@@ -1,15 +1,20 @@
 """Memory profiling of a speculative execution.
 
-Attaches an access trace and a protocol message log to the machine the
-driver builds (via ``RunConfig.machine_hook``), runs the Adm
-surrogate's loop under the hardware scheme, and prints which arrays
-caused the traffic and which speculative messages flowed — the
-observability story for diagnosing slow or failing speculation.
+Attaches the unified telemetry layer (``RunConfig.telemetry``) to the
+machines the driver builds, runs the Adm surrogate's loop under the
+hardware scheme, and prints where the cycles went, which arrays caused
+the traffic and which speculative messages flowed — the observability
+story for diagnosing slow or failing speculation.
+
+``AccessTrace``/``MessageLog`` here are plain subscribers on the same
+event bus the telemetry owns; ``machine_hook`` runs after the bus is
+attached, so it can subscribe them per machine.
 
 Run:  python examples/memory_profile.py
 """
 
 from repro.analysis import AccessTrace, MessageLog, format_summary, summarize_trace
+from repro.obs import Telemetry
 from repro.params import default_params
 from repro.runtime import (
     RunConfig,
@@ -26,24 +31,27 @@ def main() -> None:
     loop = next(workload.executions(1))
     params = default_params(8)
 
+    telemetry = Telemetry()
     trace = AccessTrace(capacity=500_000)
     log = MessageLog()
     spaces = []
 
     def attach(machine):
-        trace.attach(machine.memsys)
-        if machine.spec is not None:
-            machine.spec.ctx.message_log = log
+        trace.subscribe(machine.bus)
+        log.subscribe(machine.bus)
         spaces.append(machine.space)
 
     config = RunConfig(
         schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK),
+        telemetry=telemetry,
         machine_hook=attach,
     )
     result = run_hw(loop, params, config)
 
     print(f"Adm surrogate under the HW scheme: passed={result.passed}, "
           f"{result.wall:,.0f} cycles\n")
+    print(telemetry.phase_report())
+    print()
     print(format_summary(summarize_trace(trace, spaces[0])))
     print("\nspeculative protocol messages:")
     for label, count in sorted(log.by_label().items()):
@@ -52,6 +60,11 @@ def main() -> None:
     print(f"\ncoherence: {stats.invalidations} invalidations, "
           f"{stats.writebacks} writebacks, "
           f"{stats.remote_2hop + stats.remote_3hop} remote misses")
+    print(f"\nmetrics snapshot (stamped into RunResult.metrics): "
+          f"{telemetry.registry.total('mem.accesses'):,.0f} accesses, "
+          f"{telemetry.registry.total('spec.messages'):,.0f} messages")
+    print(f"provenance: config {result.provenance.config_hash[:12]} "
+          f"schedule {result.provenance.schedule}")
 
 
 if __name__ == "__main__":

@@ -5,10 +5,16 @@ paper's Figures 6/7 — including the First_update race — printing the
 per-element directory state after each step.  Useful for understanding
 the coherence extensions at the access-bit level.
 
+A ``MessageLog`` subscribed on the machine's event bus captures every
+speculative message as it is delivered, so the race in scenario 3 can
+be replayed message by message.
+
 Run:  python examples/protocol_trace.py
 """
 
+from repro.analysis import MessageLog
 from repro.core.accessbits import NO_PROC
+from repro.obs import EventBus
 from repro.params import small_test_params
 from repro.sim.machine import Machine
 from repro.types import ProtocolKind
@@ -26,15 +32,18 @@ def show(machine, label, element):
 
 def fresh():
     m = Machine(small_test_params(2))
+    m.attach_bus(EventBus())
+    log = MessageLog()
+    log.subscribe(m.bus)
     a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
     m.spec.register_nonpriv(a)
     m.spec.arm()
-    return m, a
+    return m, a, log
 
 
 def main() -> None:
     print("scenario 1: read-only sharing (passes)")
-    m, a = fresh()
+    m, a, _ = fresh()
     m.memsys.read(0, a.addr_of(3), 0.0); m.engine.drain()
     show(m, "P0 reads A[3] (miss, First:=P0)", 3)
     m.memsys.read(1, a.addr_of(3), 100.0); m.engine.drain()
@@ -43,14 +52,14 @@ def main() -> None:
     show(m, "P0 re-reads A[3] (cache hit, no traffic)", 3)
 
     print("\nscenario 2: write after remote read (fails at the directory)")
-    m, a = fresh()
+    m, a, _ = fresh()
     m.memsys.read(1, a.addr_of(5), 0.0); m.engine.drain()
     show(m, "P1 reads A[5]", 5)
     m.memsys.write(0, a.addr_of(5), 100.0); m.engine.drain()
     show(m, "P0 writes A[5] -> Fig 6-(d) check", 5)
 
     print("\nscenario 3: the First_update race (Figs 6-(f)/(g))")
-    m, a = fresh()
+    m, a, log = fresh()
     # Both processors cache the line via another element...
     m.memsys.read(0, a.addr_of(1), 0.0)
     m.memsys.read(1, a.addr_of(1), 50.0)
@@ -65,6 +74,10 @@ def main() -> None:
     print(f"\n  messages: {m.spec.stats.first_updates} First_update, "
           f"{m.spec.stats.first_update_fails} First_update_fail, "
           f"{m.spec.stats.ronly_updates} ROnly_update")
+    print("  replay from the event bus:")
+    for msg in log:
+        print(f"    t={msg.time:>7.1f}  P{msg.proc}  {msg.label:<18} "
+              f"{msg.array}[{msg.index}]")
     print(f"  outcome: failed={m.spec.controller.failed} "
           f"(two readers -> element is read-shared, still parallel)")
 

@@ -1,61 +1,58 @@
-"""Opt-in traces of memory accesses and protocol messages."""
+"""Opt-in traces of memory accesses and protocol messages.
+
+These are thin subscribers over the telemetry layer (``repro.obs``):
+the record types are aliases of the bus event types, and both trace
+classes share the bounded-ring behavior of
+:class:`~repro.obs.bus.BoundedLog` (oldest half dropped at capacity,
+``dropped`` counting evictions).  The legacy attach points —
+``trace.attach(machine.memsys)`` and ``ctx.message_log = log`` — keep
+working; :meth:`AccessTrace.subscribe` / :meth:`MessageLog.subscribe`
+are the bus-native equivalents.
+"""
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Iterator, List, Optional
+from typing import List
 
 from ..memsys.cache import HitLevel
-from ..types import AccessKind
+from ..obs.bus import BoundedLog, EventBus
+from ..obs.events import AccessEvent, ProtocolMessageEvent
+
+#: One simulated memory access; alias of the bus event (same fields,
+#: same positional order) so old and new code interoperate.
+AccessRecord = AccessEvent
+
+#: One speculative-protocol message; alias of the bus event.
+MessageRecord = ProtocolMessageEvent
 
 
-@dataclasses.dataclass(frozen=True)
-class AccessRecord:
-    """One simulated memory access."""
-
-    time: float
-    proc: int
-    kind: AccessKind
-    addr: int
-    level: HitLevel
-    latency: int
-
-
-class AccessTrace:
+class AccessTrace(BoundedLog):
     """Bounded in-memory access trace.
 
-    Attach with :meth:`attach`; the memory system then appends a record
-    per access.  ``capacity`` bounds memory use — the oldest records are
+    Attach with :meth:`attach` (wires through the memory system's event
+    bus, creating one if needed) or :meth:`subscribe` on an existing
+    bus.  ``capacity`` bounds memory use — the oldest records are
     dropped once exceeded (``dropped`` counts them).
     """
 
-    def __init__(self, capacity: int = 1_000_000) -> None:
-        self.capacity = capacity
-        self.records: List[AccessRecord] = []
-        self.dropped = 0
-
-    def append(self, record: AccessRecord) -> None:
-        if len(self.records) >= self.capacity:
-            # Drop the oldest half in one go (amortized O(1) per append).
-            drop = self.capacity // 2
-            del self.records[:drop]
-            self.dropped += drop
-        self.records.append(record)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self) -> Iterator[AccessRecord]:
-        return iter(self.records)
-
     def attach(self, memsys) -> "AccessTrace":
         """Start recording on ``memsys`` (a MemorySystem)."""
+        if memsys.bus is None:
+            memsys.bus = EventBus()
+        memsys.bus.subscribe(AccessEvent, self.append)
         memsys.trace = self
         return self
 
     @staticmethod
     def detach(memsys) -> None:
+        if memsys.trace is not None and memsys.bus is not None:
+            memsys.bus.unsubscribe(AccessEvent, memsys.trace.append)
         memsys.trace = None
+
+    def subscribe(self, bus: EventBus) -> "AccessTrace":
+        """Record every :class:`AccessEvent` published on ``bus``."""
+        bus.subscribe(AccessEvent, self.append)
+        return self
 
     def for_proc(self, proc: int) -> List[AccessRecord]:
         return [r for r in self.records if r.proc == proc]
@@ -64,41 +61,18 @@ class AccessTrace:
         return [r for r in self.records if r.level is HitLevel.MEMORY]
 
 
-@dataclasses.dataclass(frozen=True)
-class MessageRecord:
-    """One speculative-protocol message."""
-
-    time: float
-    label: str
-    proc: int
-    array: str
-    index: int
-
-
-class MessageLog:
+class MessageLog(BoundedLog):
     """Record of the coherence-extension messages (Figs 6-9).
 
     Attach to a :class:`~repro.core.context.ProtocolContext` via
     ``ctx.message_log = log`` (or through
-    :meth:`repro.core.engine.SpeculationEngine`'s ``ctx``)."""
+    :meth:`repro.core.engine.SpeculationEngine`'s ``ctx``), or record
+    from any telemetry bus with :meth:`subscribe`."""
 
-    def __init__(self, capacity: int = 1_000_000) -> None:
-        self.capacity = capacity
-        self.records: List[MessageRecord] = []
-        self.dropped = 0
-
-    def append(self, record: MessageRecord) -> None:
-        if len(self.records) >= self.capacity:
-            drop = self.capacity // 2
-            del self.records[:drop]
-            self.dropped += drop
-        self.records.append(record)
-
-    def __len__(self) -> int:
-        return len(self.records)
-
-    def __iter__(self) -> Iterator[MessageRecord]:
-        return iter(self.records)
+    def subscribe(self, bus: EventBus) -> "MessageLog":
+        """Record every :class:`ProtocolMessageEvent` on ``bus``."""
+        bus.subscribe(ProtocolMessageEvent, self.append)
+        return self
 
     def by_label(self) -> "dict[str, int]":
         counts: dict = {}

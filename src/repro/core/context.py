@@ -6,6 +6,7 @@ import dataclasses
 from typing import TYPE_CHECKING, Callable, Optional
 
 from ..address import AddressSpace
+from ..obs.events import ProtocolMessageEvent
 from ..params import MachineParams
 from .controller import SpeculationController
 from .messages import Scheduler
@@ -59,6 +60,11 @@ class ProtocolContext:
         self.memsys: "Optional[MemorySystem]" = None
         #: optional protocol message log (repro.analysis.tracing.MessageLog)
         self.message_log = None
+        #: telemetry bus (repro.obs.EventBus); None keeps emission free
+        self.bus = None
+        #: the sim engine, when attached to one — used as the clock for
+        #: events emitted outside a timed transaction (arm/disarm)
+        self.clock = None
 
     # ------------------------------------------------------------------
     def local_msg_delay(self) -> int:
@@ -70,13 +76,21 @@ class ProtocolContext:
             return self.local_msg_delay()
         return self.params.latency.network_one_way
 
+    def now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
     def log_message(
         self, time: float, label: str, proc: int, array: str, index: int
     ) -> None:
-        if self.message_log is not None:
-            from ..analysis.tracing import MessageRecord
-
-            self.message_log.append(MessageRecord(time, label, proc, array, index))
+        log = self.message_log
+        bus = self.bus
+        if log is None and bus is None:
+            return
+        event = ProtocolMessageEvent(time, label, proc, array, index)
+        if log is not None:
+            log.append(event)
+        if bus is not None:
+            bus.emit(event)
 
     def send_to_directory(
         self,

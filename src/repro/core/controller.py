@@ -23,6 +23,8 @@ class SpeculationController:
         self.armed = False
         self.failure: Optional[SpeculationFailure] = None
         self.history: List[SpeculationFailure] = []
+        #: telemetry bus (repro.obs.EventBus); None keeps emission free
+        self.bus = None
 
     # ------------------------------------------------------------------
     @property
@@ -59,6 +61,18 @@ class SpeculationController:
         self.history.append(failure)
         if self.failure is None:
             self.failure = failure
+        if self.bus is not None:
+            from ..obs.events import FailureEvent
+
+            self.bus.emit(
+                FailureEvent(
+                    detected_at if detected_at is not None else 0.0,
+                    reason,
+                    element=element,
+                    proc=processor,
+                    iteration=iteration,
+                )
+            )
 
     def check(self) -> None:
         """Raise the recorded failure, if any."""

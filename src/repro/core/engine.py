@@ -152,9 +152,18 @@ class SpeculationEngine(SpeculationHooks):
         self._iteration = [1] * self.params.num_processors
         self._sync_written.clear()
         self.controller.arm()
+        self._emit_arm(True)
 
     def disarm(self) -> None:
         self.controller.disarm()
+        self._emit_arm(False)
+
+    def _emit_arm(self, armed: bool) -> None:
+        bus = self.ctx.bus
+        if bus is not None:
+            from ..obs.events import SpeculationArmEvent
+
+            bus.emit(SpeculationArmEvent(self.ctx.now(), armed))
 
     def epoch_sync(self) -> None:
         """Time-stamp overflow synchronization (§3.3): reset the

@@ -14,7 +14,7 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from . import charts, claims, figures, report, serialize
+from . import charts, claims, figures, report, serialize, tracerun
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {}
 
@@ -91,6 +91,16 @@ def _table2(args) -> str:
     return report.render_table2(figures.table2_state())
 
 
+@_register("trace")
+def _trace(args) -> str:
+    return tracerun.run_trace(
+        preset=args.preset,
+        seed=args.seed,
+        workload=args.workload,
+        out=args.out,
+    )
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -119,9 +129,25 @@ def main(argv: "List[str] | None" = None) -> int:
         "--json", action="store_true",
         help="emit machine-readable JSON rows instead of tables",
     )
+    parser.add_argument(
+        "--out", default="repro-trace.json",
+        help="trace: output path for the Chrome trace-event JSON "
+        "(a .jsonl event stream is written next to it)",
+    )
+    parser.add_argument(
+        "--workload", default="Adm",
+        choices=sorted(figures.WORKLOAD_CLASSES),
+        help="trace: which workload to instrument",
+    )
     args = parser.parse_args(argv)
 
-    chosen = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    # "all" regenerates every table/figure; trace (which writes files)
+    # stays explicit-only.
+    chosen = (
+        sorted(n for n in EXPERIMENTS if n != "trace")
+        if "all" in args.experiments
+        else args.experiments
+    )
     for name in chosen:
         start = time.time()
         if args.json:

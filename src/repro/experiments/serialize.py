@@ -25,6 +25,10 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         "phases": dict(result.phases),
         "spec_messages": result.spec_messages,
     }
+    if result.provenance is not None:
+        out["provenance"] = result.provenance.as_dict()
+    if result.metrics is not None:
+        out["metrics"] = result.metrics
     if result.failure is not None:
         out["failure"] = {
             "reason": result.failure.reason,

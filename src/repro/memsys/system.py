@@ -32,6 +32,7 @@ import dataclasses
 from typing import Dict, List, Optional, Tuple
 
 from ..address import AddressSpace
+from ..obs.events import AccessEvent, DirTransitionEvent
 from ..params import MachineParams
 from ..types import AccessKind, DirState, LineState
 from .cache import CacheHierarchy, HitLevel
@@ -170,7 +171,10 @@ class MemorySystem:
             for _ in range(params.num_processors)
         ]
         self.stats = MemStats()
-        #: optional access trace (see repro.analysis.tracing.AccessTrace)
+        #: telemetry bus (repro.obs.EventBus); None keeps emission free
+        self.bus = None
+        #: attached access trace, if any (repro.analysis.tracing.AccessTrace);
+        #: records flow to it over the bus — this is just the attach marker
         self.trace = None
 
     # ------------------------------------------------------------------
@@ -272,11 +276,10 @@ class MemorySystem:
         return result
 
     def _trace(self, now, proc, kind, addr, result) -> None:
-        if self.trace is not None:
-            from ..analysis.tracing import AccessRecord
-
-            self.trace.append(
-                AccessRecord(now, proc, kind, addr, result.hit_level, result.total)
+        bus = self.bus
+        if bus is not None and bus.wants_access:
+            bus.emit(
+                AccessEvent(now, proc, kind, addr, result.hit_level, result.total)
             )
 
     def drain_write_buffer(self, proc: int, now: float) -> float:
@@ -301,6 +304,7 @@ class MemorySystem:
         queue = self.home_of(line_addr).occupy(arrival)
 
         entry = self.home_of(line_addr).entry(line_addr)
+        prev_state = entry.state
         extra = 0
         if entry.state is DirState.DIRTY and entry.owner is not None:
             if entry.owner != proc:
@@ -356,6 +360,13 @@ class MemorySystem:
             entry.owner = proc
             entry.sharers = set()
             state = LineState.DIRTY
+        bus = self.bus
+        if bus is not None and bus.wants_dir and entry.state is not prev_state:
+            bus.emit(
+                DirTransitionEvent(
+                    now, home_node, line_addr, prev_state, entry.state, proc, kind
+                )
+            )
         line = CacheLine(line_addr, state)
         self.hooks.fill_line_bits(proc, line, now)
         fill = self.caches[proc].fill(line)
@@ -382,6 +393,7 @@ class MemorySystem:
         queue = self.home_of(line_addr).occupy(arrival)
 
         entry = self.home_of(line_addr).entry(line_addr)
+        prev_state = entry.state
         extra = 0
         others = {s for s in entry.sharers if s != proc}
         if others:
@@ -391,6 +403,19 @@ class MemorySystem:
         entry.owner = proc
         entry.sharers = set()
         line.state = LineState.DIRTY
+        bus = self.bus
+        if bus is not None and bus.wants_dir and entry.state is not prev_state:
+            bus.emit(
+                DirTransitionEvent(
+                    now,
+                    home_node,
+                    line_addr,
+                    prev_state,
+                    entry.state,
+                    proc,
+                    AccessKind.WRITE,
+                )
+            )
         # Fig 6-(d) ends by refreshing the requester's tag state from the
         # directory for every word of the line.
         self.hooks.fill_line_bits(proc, line, now)
@@ -435,7 +460,20 @@ class MemorySystem:
         home.occupy(now + self.params.latency.network_one_way)
         entry = home.entry(victim.line_addr)
         if entry.owner == proc:
+            prev_state = entry.state
             entry.reset()
+            bus = self.bus
+            if bus is not None and bus.wants_dir:
+                bus.emit(
+                    DirTransitionEvent(
+                        now,
+                        home.node_id,
+                        victim.line_addr,
+                        prev_state,
+                        entry.state,
+                        proc,
+                    )
+                )
 
     def _drop_clean(self, proc: int, victim: CacheLine) -> None:
         """Replacement hint: remove a clean victim from the sharer set."""

@@ -1,0 +1,126 @@
+"""Unified telemetry for the simulator: events, bus, metrics, exports.
+
+Quick start::
+
+    from repro.obs import Telemetry
+    from repro.runtime.driver import RunConfig, run_hw
+
+    telemetry = Telemetry()
+    results = run_hw(loop, num_processors=8,
+                     config=RunConfig(telemetry=telemetry))
+    telemetry.write_chrome_trace("trace.json")
+    print(telemetry.phase_report())
+
+See ``docs/observability.md`` for the event taxonomy and exporter
+details.
+"""
+
+from .bus import BoundedLog, EventBus, EventRecorder
+from .events import (
+    AbortEvent,
+    AccessEvent,
+    BarrierWaitEvent,
+    DirTransitionEvent,
+    EpochSyncEvent,
+    Event,
+    FailureEvent,
+    PhaseBeginEvent,
+    PhaseEndEvent,
+    ProtocolMessageEvent,
+    QuiesceEvent,
+    RestoreEvent,
+    RunEndEvent,
+    RunStartEvent,
+    SpeculationArmEvent,
+)
+from .export import (
+    chrome_trace,
+    event_to_dict,
+    phase_report,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .metrics import Counter, Histogram, MetricsCollector, MetricsRegistry
+from .provenance import RunProvenance, canonical_json, fingerprint, run_provenance
+
+__all__ = [
+    "Telemetry",
+    "EventBus",
+    "BoundedLog",
+    "EventRecorder",
+    "Event",
+    "AccessEvent",
+    "DirTransitionEvent",
+    "ProtocolMessageEvent",
+    "SpeculationArmEvent",
+    "FailureEvent",
+    "BarrierWaitEvent",
+    "EpochSyncEvent",
+    "QuiesceEvent",
+    "RunStartEvent",
+    "RunEndEvent",
+    "PhaseBeginEvent",
+    "PhaseEndEvent",
+    "AbortEvent",
+    "RestoreEvent",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "RunProvenance",
+    "canonical_json",
+    "fingerprint",
+    "run_provenance",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "event_to_dict",
+    "phase_report",
+]
+
+
+class Telemetry:
+    """One-stop telemetry bundle: bus + full event recording + metrics.
+
+    Pass an instance as ``RunConfig(telemetry=...)`` (or call
+    :meth:`attach` on a machine directly); afterwards :attr:`events`
+    holds the recorded stream, :attr:`registry` the aggregated metrics,
+    and the exporter helpers write files straight from them.
+    """
+
+    def __init__(self, capacity: int = 1_000_000) -> None:
+        self.bus = EventBus()
+        self.events = EventRecorder(capacity=capacity).subscribe(self.bus)
+        self.collector = MetricsCollector()
+        self.collector.subscribe(self.bus)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self.collector.registry
+
+    # ------------------------------------------------------------------
+    def attach(self, machine) -> "Telemetry":
+        """Wire the bus into a machine; the duck-typed interface
+        ``RunConfig.telemetry`` expects.  Picks up the machine's address
+        space so metrics resolve addresses to array names."""
+        machine.attach_bus(self.bus)
+        if getattr(machine, "space", None) is not None:
+            self.collector.space = machine.space
+        return self
+
+    # ------------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        return self.registry.as_dict()
+
+    def write_chrome_trace(self, path: str, metadata: dict = None) -> int:
+        return write_chrome_trace(self.events, path, metadata=metadata)
+
+    def write_jsonl(self, path: str, include_hits: bool = False) -> int:
+        return write_jsonl(self.events, path, include_hits=include_hits)
+
+    def phase_report(self) -> str:
+        return phase_report(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.registry.clear()

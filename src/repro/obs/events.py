@@ -1,0 +1,229 @@
+"""Typed telemetry events emitted on the :class:`~repro.obs.bus.EventBus`.
+
+Every observable transition in the simulator is one frozen dataclass
+here, tagged with the subsystem that emits it:
+
+========== ======================================================
+subsystem  events
+========== ======================================================
+memsys     :class:`AccessEvent`, :class:`DirTransitionEvent`
+core       :class:`ProtocolMessageEvent`, :class:`SpeculationArmEvent`,
+           :class:`FailureEvent`
+sim        :class:`BarrierWaitEvent`, :class:`EpochSyncEvent`,
+           :class:`QuiesceEvent`
+runtime    :class:`RunStartEvent`, :class:`RunEndEvent`,
+           :class:`PhaseBeginEvent`, :class:`PhaseEndEvent`,
+           :class:`AbortEvent`, :class:`RestoreEvent`
+========== ======================================================
+
+Events are plain data: they carry no behavior and no references into
+the machine, so they can be buffered, serialized and compared freely.
+``time`` is always the simulated cycle at which the event happened.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Optional, Tuple
+
+from ..types import AccessKind
+
+__all__ = [
+    "Event",
+    "AccessEvent",
+    "DirTransitionEvent",
+    "ProtocolMessageEvent",
+    "SpeculationArmEvent",
+    "FailureEvent",
+    "BarrierWaitEvent",
+    "EpochSyncEvent",
+    "QuiesceEvent",
+    "RunStartEvent",
+    "RunEndEvent",
+    "PhaseBeginEvent",
+    "PhaseEndEvent",
+    "AbortEvent",
+    "RestoreEvent",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class Event:
+    """Base of all telemetry events (``time`` in simulated cycles)."""
+
+    subsystem = "obs"  # class attribute, not a field
+    name = "event"
+
+    time: float
+
+
+# ----------------------------------------------------------------------
+# memsys
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class AccessEvent(Event):
+    """One simulated memory access (field order is stable API: the
+    legacy ``repro.analysis.tracing.AccessRecord`` is an alias)."""
+
+    subsystem = "memsys"
+    name = "access"
+
+    proc: int
+    kind: AccessKind
+    addr: int
+    level: Any  # memsys.cache.HitLevel (kept untyped to avoid a cycle)
+    latency: int
+
+
+@dataclasses.dataclass(frozen=True)
+class DirTransitionEvent(Event):
+    """A home directory entry changed state during a transaction."""
+
+    subsystem = "memsys"
+    name = "dir-transition"
+
+    node: int
+    line_addr: int
+    prev: Any  # types.DirState
+    new: Any
+    proc: int
+    kind: Optional[AccessKind] = None
+
+
+# ----------------------------------------------------------------------
+# core (the speculative protocols)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ProtocolMessageEvent(Event):
+    """One coherence-extension message (First_update, read-first, ...).
+
+    Field order is stable API: the legacy
+    ``repro.analysis.tracing.MessageRecord`` is an alias of this class.
+    """
+
+    subsystem = "core"
+    name = "protocol-message"
+
+    label: str
+    proc: int
+    array: str
+    index: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculationArmEvent(Event):
+    """Speculation armed (loop entry) or disarmed (loop exit)."""
+
+    subsystem = "core"
+    name = "speculation-arm"
+
+    armed: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class FailureEvent(Event):
+    """A protocol check FAILed (first failure and late echoes alike)."""
+
+    subsystem = "core"
+    name = "failure"
+
+    reason: str
+    element: Optional[Tuple[str, int]] = None
+    proc: Optional[int] = None
+    iteration: Optional[int] = None
+
+
+# ----------------------------------------------------------------------
+# sim (discrete-event engine)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class BarrierWaitEvent(Event):
+    """One processor's wait at a barrier; ``time`` is the release."""
+
+    subsystem = "sim"
+    name = "barrier-wait"
+
+    proc: int
+    wait_cycles: float
+
+
+@dataclasses.dataclass(frozen=True)
+class EpochSyncEvent(Event):
+    """Time-stamp overflow synchronization (§3.3)."""
+
+    subsystem = "sim"
+    name = "epoch-sync"
+
+    epoch: int
+    flushed_messages: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class QuiesceEvent(Event):
+    """The engine drained a phase to quiescence."""
+
+    subsystem = "sim"
+    name = "quiesce"
+
+    events_processed: int
+    aborted: bool = False
+
+
+# ----------------------------------------------------------------------
+# runtime (scenario drivers)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class RunStartEvent(Event):
+    subsystem = "runtime"
+    name = "run-start"
+
+    scenario: str
+    loop_name: str
+    num_processors: int
+
+
+@dataclasses.dataclass(frozen=True)
+class RunEndEvent(Event):
+    subsystem = "runtime"
+    name = "run-end"
+
+    passed: bool
+    wall: float
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseBeginEvent(Event):
+    subsystem = "runtime"
+    name = "phase-begin"
+
+    phase: str
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseEndEvent(Event):
+    subsystem = "runtime"
+    name = "phase-end"
+
+    phase: str
+    duration: float
+
+
+@dataclasses.dataclass(frozen=True)
+class AbortEvent(Event):
+    """The runtime abandoned a speculative execution."""
+
+    subsystem = "runtime"
+    name = "abort"
+
+    reason: str
+    detection_cycle: Optional[float] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class RestoreEvent(Event):
+    """Saved state was restored after a failed speculation."""
+
+    subsystem = "runtime"
+    name = "restore"
+
+    duration: float

@@ -1,0 +1,110 @@
+"""Run provenance: a stable fingerprint of *what exactly* was simulated.
+
+Every :class:`~repro.runtime.driver.RunResult` is stamped with a
+:class:`RunProvenance` so serialized results can always be traced back
+to the machine description, run configuration, schedule and package
+version that produced them.  Hashes are SHA-256 over a canonical JSON
+rendering (sorted keys, enums by value, callables excluded), so two
+identical configurations hash identically across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+__all__ = ["RunProvenance", "canonical_json", "fingerprint", "run_provenance"]
+
+
+def _jsonable(obj: Any) -> Any:
+    """Render dataclasses/enums/collections as canonical JSON types.
+    Non-data values (callables, machine objects) are dropped."""
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: _jsonable(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+            if not callable(getattr(obj, f.name))
+        }
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    return json.dumps(_jsonable(obj), sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON rendering of ``obj``."""
+    return hashlib.sha256(canonical_json(obj).encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass(frozen=True)
+class RunProvenance:
+    """Manifest identifying one simulated run."""
+
+    #: hash over machine params + run config together (the identity of
+    #: the simulated experiment, minus the workload)
+    config_hash: str
+    #: hash over the machine params alone
+    params_hash: str
+    #: human-readable schedule description
+    schedule: str
+    package_version: str
+    scenario: Optional[str] = None
+    loop_name: Optional[str] = None
+    seed: Optional[int] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def run_provenance(
+    params,
+    config=None,
+    scenario: Optional[str] = None,
+    loop_name: Optional[str] = None,
+    seed: Optional[int] = None,
+) -> RunProvenance:
+    """Build the provenance manifest for one run.
+
+    ``params`` is a :class:`~repro.params.MachineParams`; ``config`` an
+    optional :class:`~repro.runtime.driver.RunConfig`.  Non-data config
+    fields (``machine_hook``, ``telemetry``) never enter the hash.
+    """
+    from .. import __version__
+
+    params_doc = _jsonable(params)
+    config_doc: Dict[str, Any] = {}
+    schedule_text = "default"
+    if config is not None:
+        config_doc = {
+            "schedule": _jsonable(config.schedule),
+            "sparse_backup": config.sparse_backup,
+            "sw_read_in": config.sw_read_in,
+            "timestamp_bits": config.timestamp_bits,
+            "per_line_bits": config.per_line_bits,
+        }
+        spec = config.schedule
+        schedule_text = (
+            f"{spec.policy.value}/chunk={spec.chunk_iterations}"
+            f"/{spec.virtual_mode.value}"
+        )
+    return RunProvenance(
+        config_hash=fingerprint({"params": params_doc, "config": config_doc}),
+        params_hash=fingerprint(params_doc),
+        schedule=schedule_text,
+        package_version=__version__,
+        scenario=scenario,
+        loop_name=loop_name,
+        seed=seed,
+    )

@@ -12,12 +12,21 @@ from __future__ import annotations
 
 import dataclasses
 import math
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..errors import ConfigurationError, SpeculationFailure
 from ..lrpd.analysis import LRPDOutcome, analyze
 from ..lrpd.shadow import LRPDState
 from ..memsys.system import MemStats
+from ..obs.events import (
+    AbortEvent,
+    PhaseBeginEvent,
+    PhaseEndEvent,
+    RestoreEvent,
+    RunEndEvent,
+    RunStartEvent,
+)
+from ..obs.provenance import RunProvenance, run_provenance
 from ..params import MachineParams
 from ..sim.machine import Machine
 from ..sim.stats import TimeBreakdown
@@ -64,10 +73,16 @@ class RunConfig:
     per_line_bits: bool = False
     #: called with the freshly built Machine before the run starts —
     #: the hook point for attaching traces/logs (repro.analysis).
-    machine_hook: "Optional[object]" = None
+    machine_hook: Optional[Callable[[Machine], None]] = None
+    #: telemetry sink attached to the machine before the run: anything
+    #: with an ``attach(machine)`` method, typically ``repro.obs.Telemetry``
+    #: or a bare ``repro.obs.EventBus``.
+    telemetry: Optional[object] = None
 
 
 def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
+    if config is not None and config.telemetry is not None:
+        config.telemetry.attach(machine)
     if config is not None and config.machine_hook is not None:
         config.machine_hook(machine)
 
@@ -91,6 +106,11 @@ class RunResult:
     spec_messages: int = 0
     #: memory-system counters for the whole run (hits, misses, traffic)
     mem: Optional[MemStats] = None
+    #: manifest identifying the exact configuration that produced this
+    #: result (repro.obs.provenance); stamped by every scenario driver
+    provenance: Optional[RunProvenance] = None
+    #: metrics-registry snapshot, when the run had telemetry attached
+    metrics: Optional[dict] = None
 
     @property
     def speedup_base(self) -> float:
@@ -125,6 +145,9 @@ def _run_phase(
 ) -> TimeBreakdown:
     engine = machine.engine
     start = engine.now
+    bus = machine.bus
+    if bus is not None:
+        bus.emit(PhaseBeginEvent(start, name))
     result = engine.run_phase(streams, start_time=start, abort_on_failure=abort_on_failure)
     finish = result.finish
     participants = result.participants()
@@ -134,6 +157,8 @@ def _run_phase(
     breakdown = TimeBreakdown.from_procs([result.per_proc[i] for i in participants])
     phases[name] = finish - start
     engine.now = finish
+    if bus is not None:
+        bus.emit(PhaseEndEvent(finish, name, finish - start))
     return breakdown
 
 
@@ -201,16 +226,58 @@ def _append_failure_tail(
     breakdown: TimeBreakdown,
     serial_result: Optional["RunResult"],
     params: MachineParams,
+    reason: str = "speculation-failed",
+    detection: Optional[float] = None,
 ) -> "TimeBreakdown":
     """Failure path: restore the arrays, then account the serial
     re-execution at the Serial scenario's cost (paper §6.2)."""
+    bus = machine.bus
+    if bus is not None:
+        bus.emit(AbortEvent(machine.engine.now, reason, detection_cycle=detection))
     restore_bd = _run_phase(machine, "restore", _restore_streams(machine, loop), phases)
     breakdown.add(restore_bd)
+    if bus is not None:
+        bus.emit(RestoreEvent(machine.engine.now, phases.get("restore", 0.0)))
     if serial_result is None:
         serial_result = run_serial(loop, params)
     phases["serial-reexec"] = serial_result.wall
     breakdown.add(serial_result.breakdown)
     return breakdown
+
+
+def _begin_run(machine: Machine, scenario: Scenario, loop: Loop) -> None:
+    bus = machine.bus
+    if bus is not None:
+        bus.emit(
+            RunStartEvent(
+                machine.engine.now,
+                scenario.value,
+                loop.name,
+                machine.params.num_processors,
+            )
+        )
+
+
+def _finish_run(
+    machine: Machine,
+    config: "Optional[RunConfig]",
+    params: MachineParams,
+    result: "RunResult",
+) -> "RunResult":
+    """Stamp provenance/metrics into a result and close out telemetry."""
+    result.provenance = run_provenance(
+        params,
+        config,
+        scenario=result.scenario.value,
+        loop_name=result.loop_name,
+    )
+    telemetry = config.telemetry if config is not None else None
+    if telemetry is not None and hasattr(telemetry, "metrics_snapshot"):
+        result.metrics = telemetry.metrics_snapshot()
+    bus = machine.bus
+    if bus is not None:
+        bus.emit(RunEndEvent(machine.engine.now, result.passed, result.wall))
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -222,12 +289,13 @@ def run_serial(
     """Uniprocessor execution with all data local (§6)."""
     machine = Machine(_serial_params(params), with_speculation=False)
     _apply_hook(config, machine)
+    _begin_run(machine, Scenario.SERIAL, loop)
     _allocate_loop_arrays(machine, loop, local=True)
     phases: Dict[str, float] = {}
     breakdown = _run_phase(
         machine, "loop", {0: serial_stream(loop, params.cost)}, phases
     )
-    return RunResult(
+    result = RunResult(
         scenario=Scenario.SERIAL,
         loop_name=loop.name,
         num_processors=1,
@@ -237,6 +305,7 @@ def run_serial(
         phases=phases,
         mem=machine.memsys.stats,
     )
+    return _finish_run(machine, config, params, result)
 
 
 # ----------------------------------------------------------------------
@@ -255,6 +324,7 @@ def run_ideal(
     config = config or RunConfig()
     machine = Machine(params, with_speculation=False)
     _apply_hook(config, machine)
+    _begin_run(machine, Scenario.IDEAL, loop)
     _allocate_loop_arrays(machine, loop, local=False)
     privatized = {a.name for a in loop.arrays if a.privatized}
     for name in privatized:
@@ -277,7 +347,7 @@ def run_ideal(
         instrument=instrument if privatized else None,
     )
     breakdown = _run_phase(machine, "loop", streams, phases)
-    return RunResult(
+    result = RunResult(
         scenario=Scenario.IDEAL,
         loop_name=loop.name,
         num_processors=params.num_processors,
@@ -287,6 +357,7 @@ def run_ideal(
         phases=phases,
         mem=machine.memsys.stats,
     )
+    return _finish_run(machine, config, params, result)
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +373,7 @@ def run_hw(
     config = config or RunConfig()
     machine = Machine(params, with_speculation=True)
     _apply_hook(config, machine)
+    _begin_run(machine, Scenario.HW, loop)
     assert machine.spec is not None
     _allocate_loop_arrays(machine, loop, local=False)
     for spec in loop.modified_arrays():
@@ -366,10 +438,11 @@ def run_hw(
             detection = failure.detected_at - loop_start
         machine.spec.disarm()
         breakdown = _append_failure_tail(
-            machine, loop, phases, breakdown, serial_result, params
+            machine, loop, phases, breakdown, serial_result, params,
+            reason=failure.reason, detection=detection,
         )
         wall = machine.engine.now + phases.get("serial-reexec", 0.0)
-        return RunResult(
+        result = RunResult(
             scenario=Scenario.HW,
             loop_name=loop.name,
             num_processors=params.num_processors,
@@ -382,6 +455,7 @@ def run_hw(
             spec_messages=machine.spec.stats.messages,
             mem=machine.memsys.stats,
         )
+        return _finish_run(machine, config, params, result)
 
     # Phase 3: copy-out of privatized, live-out arrays (§2.2.3).
     copyout: Dict[int, Iterator[object]] = {}
@@ -402,7 +476,7 @@ def run_hw(
         breakdown.add(_run_phase(machine, "copy-out", copyout, phases))
     machine.spec.disarm()
 
-    return RunResult(
+    result = RunResult(
         scenario=Scenario.HW,
         loop_name=loop.name,
         num_processors=params.num_processors,
@@ -413,6 +487,7 @@ def run_hw(
         spec_messages=machine.spec.stats.messages,
         mem=machine.memsys.stats,
     )
+    return _finish_run(machine, config, params, result)
 
 
 def _hw_copy_out_indices(
@@ -446,6 +521,7 @@ def run_sw(
         )
     machine = Machine(params, with_speculation=False)
     _apply_hook(config, machine)
+    _begin_run(machine, Scenario.SW, loop)
     cost = params.cost
     num = params.num_processors
     _allocate_loop_arrays(machine, loop, local=False)
@@ -546,9 +622,10 @@ def run_sw(
     outcome = analyze(state)
     if not outcome.passed:
         breakdown = _append_failure_tail(
-            machine, loop, phases, breakdown, serial_result, params
+            machine, loop, phases, breakdown, serial_result, params,
+            reason="lrpd-test-failed",
         )
-        return RunResult(
+        result = RunResult(
             scenario=Scenario.SW,
             loop_name=loop.name,
             num_processors=num,
@@ -560,6 +637,7 @@ def run_sw(
             lrpd=outcome,
             mem=machine.memsys.stats,
         )
+        return _finish_run(machine, config, params, result)
 
     # Phase 4: copy-out of privatized live-out arrays.
     copyout: Dict[int, Iterator[object]] = {}
@@ -580,7 +658,7 @@ def run_sw(
     if copyout:
         breakdown.add(_run_phase(machine, "copy-out", copyout, phases))
 
-    return RunResult(
+    result = RunResult(
         scenario=Scenario.SW,
         loop_name=loop.name,
         num_processors=num,
@@ -591,6 +669,7 @@ def run_sw(
         lrpd=outcome,
         mem=machine.memsys.stats,
     )
+    return _finish_run(machine, config, params, result)
 
 
 class LoopRunner:
@@ -604,7 +683,7 @@ class LoopRunner:
 
     def run(self, loop: Loop, scenario: Scenario) -> RunResult:
         if scenario is Scenario.SERIAL:
-            return run_serial(loop, self.params)
+            return run_serial(loop, self.params, self.config)
         if scenario is Scenario.IDEAL:
             return run_ideal(loop, self.params, self.config)
         if scenario is Scenario.HW:

@@ -12,6 +12,7 @@ from ..core.engine import SpeculationEngine
 from ..core.messages import Scheduler
 from ..errors import ConfigurationError
 from ..memsys.system import MemorySystem
+from ..obs.events import EpochSyncEvent, QuiesceEvent
 from ..types import AccessKind
 from .processor import Processor, ProcState
 from .stats import PerProcStats, PhaseResult
@@ -59,6 +60,8 @@ class Engine(Scheduler):
         self._abort_handled = False
         self._epochs_done = 0
         self.events_processed = 0
+        #: telemetry bus (repro.obs.EventBus); None keeps emission free
+        self.bus = None
 
     # ------------------------------------------------------------------
     # Scheduler interface (used by the speculation protocols)
@@ -100,10 +103,12 @@ class Engine(Scheduler):
         the first call per epoch performs the reset."""
         if epoch <= self._epochs_done:
             return
-        self.flush_messages()
+        flushed = self.flush_messages()
         if self.spec is not None:
             self.spec.epoch_sync()
         self._epochs_done = epoch
+        if self.bus is not None:
+            self.bus.emit(EpochSyncEvent(self.now, epoch, flushed))
 
     # ------------------------------------------------------------------
     # Speculation integration
@@ -186,6 +191,8 @@ class Engine(Scheduler):
             start_time=start, finish_times=finish, per_proc=deltas, aborted=aborted
         )
         self.now = max(self.now, result.finish)
+        if self.bus is not None:
+            self.bus.emit(QuiesceEvent(self.now, self.events_processed, aborted))
         return result
 
     def drain(self) -> None:

@@ -35,12 +35,26 @@ class Machine:
         self.memsys = MemorySystem(params, self.space)
         self.spec: Optional[SpeculationEngine] = None
         self.engine = Engine(self.memsys, self.space, spec=None)
+        #: telemetry bus (repro.obs.EventBus), wired by attach_bus()
+        self.bus = None
         if with_speculation:
             self.spec = SpeculationEngine(
                 params, self.space, scheduler=self.engine.message_scheduler
             )
             self.spec.attach(self.memsys)
+            self.spec.ctx.clock = self.engine
             self.engine.spec = self.spec
+
+    # ------------------------------------------------------------------
+    def attach_bus(self, bus) -> None:
+        """Wire a telemetry bus (``repro.obs.EventBus``) into every
+        component that emits events.  Idempotent; pass None to detach."""
+        self.bus = bus
+        self.memsys.bus = bus
+        self.engine.bus = bus
+        if self.spec is not None:
+            self.spec.ctx.bus = bus
+            self.spec.controller.bus = bus
 
     # ------------------------------------------------------------------
     def new_barrier(self, participants: Optional[int] = None) -> Barrier:

@@ -41,9 +41,13 @@ class Barrier:
         self._waiting: List["Processor"] = []
         self._arrivals: List[float] = []
 
-    def arrive(self, proc: "Processor", now: float) -> Optional[float]:
+    def arrive(
+        self, proc: "Processor", now: float, bus=None
+    ) -> Optional[float]:
         """Returns the release time when this arrival completes the
-        barrier, else None (the processor blocks)."""
+        barrier, else None (the processor blocks).  ``bus`` (a
+        ``repro.obs.EventBus``) receives one ``BarrierWaitEvent`` per
+        participant at release time."""
         self._waiting.append(proc)
         self._arrivals.append(now)
         if len(self._waiting) < self.participants:
@@ -51,6 +55,11 @@ class Barrier:
         release = now + self.cost
         for p, arrived in zip(self._waiting, self._arrivals):
             p.stats.sync += release - arrived
+        if bus is not None:
+            from ..obs.events import BarrierWaitEvent
+
+            for p, arrived in zip(self._waiting, self._arrivals):
+                bus.emit(BarrierWaitEvent(release, p.id, release - arrived))
         waiting = self._waiting
         self._waiting = []
         self._arrivals = []
@@ -268,7 +277,7 @@ class Processor:
                 drain = memsys.drain_write_buffer(self.id, t)
                 self.stats.mem += drain
                 t += drain
-                release = op.barrier.arrive(self, t)
+                release = op.barrier.arrive(self, t, self.engine.bus)
                 if release is None:
                     self.state = ProcState.BLOCKED
                     self._blocked_on = op.barrier

@@ -1,0 +1,342 @@
+"""Tests for the unified telemetry layer (repro.obs)."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.analysis import AccessTrace, MessageLog
+from repro.memsys.cache import HitLevel
+from repro.obs import (
+    AccessEvent,
+    EventBus,
+    EventRecorder,
+    MetricsRegistry,
+    PhaseBeginEvent,
+    PhaseEndEvent,
+    ProtocolMessageEvent,
+    RunStartEvent,
+    Telemetry,
+    chrome_trace,
+    phase_report,
+    run_provenance,
+    write_jsonl,
+)
+from repro.obs.bus import BoundedLog
+from repro.params import default_params, small_test_params
+from repro.runtime.driver import RunConfig, run_hw, run_serial
+from repro.runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.sim.machine import Machine
+from repro.types import AccessKind, ProtocolKind
+from repro.workloads import AdmWorkload
+
+
+def _hw_result_with_telemetry(procs=4):
+    workload = AdmWorkload(seed=7, scale=0.25)
+    loop = next(workload.executions(1))
+    telemetry = Telemetry()
+    config = dataclasses.replace(workload.hw_config(), telemetry=telemetry)
+    result = run_hw(loop, default_params(procs), config)
+    return result, telemetry
+
+
+# ----------------------------------------------------------------------
+# EventBus
+# ----------------------------------------------------------------------
+class TestEventBus:
+    def test_typed_dispatch(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(AccessEvent, seen.append)
+        bus.emit(AccessEvent(0.0, 0, AccessKind.READ, 64, HitLevel.L1, 1))
+        bus.emit(PhaseBeginEvent(0.0, "loop"))  # different type: not seen
+        assert len(seen) == 1 and type(seen[0]) is AccessEvent
+
+    def test_catch_all_subscriber(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(None, seen.append)
+        bus.emit(PhaseBeginEvent(0.0, "loop"))
+        bus.emit(AccessEvent(1.0, 0, AccessKind.READ, 64, HitLevel.L1, 1))
+        assert len(seen) == 2
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        fn = bus.subscribe(PhaseBeginEvent, seen.append)
+        bus.emit(PhaseBeginEvent(0.0, "a"))
+        bus.unsubscribe(PhaseBeginEvent, fn)
+        bus.emit(PhaseBeginEvent(1.0, "b"))
+        assert len(seen) == 1
+        assert bus.subscriber_count == 0
+
+    def test_hot_path_flags(self):
+        bus = EventBus()
+        assert not bus.wants_access
+        fn = bus.subscribe(PhaseBeginEvent, lambda e: None)
+        assert not bus.wants_access  # coarse subscriber only
+        bus.subscribe(AccessEvent, lambda e: None)
+        assert bus.wants_access
+        bus.subscribe(None, lambda e: None)
+        assert bus.wants_access and bus.wants_dir
+
+    def test_events_are_frozen(self):
+        event = PhaseBeginEvent(0.0, "loop")
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            event.phase = "other"
+
+
+# ----------------------------------------------------------------------
+# BoundedLog / legacy trace classes as bus subscribers
+# ----------------------------------------------------------------------
+class TestBoundedLog:
+    def test_eviction_and_dropped_accounting(self):
+        log = BoundedLog(capacity=10)
+        for i in range(25):
+            log.append(i)
+        assert len(log) <= 15
+        assert log.dropped > 0
+        assert log.dropped + len(log) == 25
+        # survivors are the newest records, in order
+        assert list(log)[-1] == 24
+
+    def test_clear_resets(self):
+        log = BoundedLog(capacity=4)
+        for i in range(9):
+            log.append(i)
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+
+    def test_access_trace_eviction(self):
+        trace = AccessTrace(capacity=10)
+        for i in range(25):
+            trace.append(
+                AccessEvent(float(i), 0, AccessKind.READ, i, HitLevel.L1, 1)
+            )
+        assert len(trace) <= 15
+        assert trace.dropped > 0
+
+    def test_message_log_by_label_over_bus(self):
+        bus = EventBus()
+        log = MessageLog().subscribe(bus)
+        for i in range(3):
+            bus.emit(ProtocolMessageEvent(float(i), "First_update", 0, "A", i))
+        bus.emit(ProtocolMessageEvent(3.0, "read-first", 1, "A", 0))
+        assert log.by_label() == {"First_update": 3, "read-first": 1}
+
+    def test_access_trace_subscribes_to_machine_bus(self):
+        m = Machine(small_test_params(2), with_speculation=False)
+        a = m.space.allocate("A", 64, elem_bytes=8)
+        trace = AccessTrace().attach(m.memsys)
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        assert len(trace) == 1 and trace.records[0].level is HitLevel.MEMORY
+        AccessTrace.detach(m.memsys)
+        m.memsys.read(0, a.addr_of(1), 1.0)
+        assert len(trace) == 1
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_counter_labels_and_totals(self):
+        reg = MetricsRegistry()
+        reg.counter("mem.accesses", proc=0, kind="rd").inc(3)
+        reg.counter("mem.accesses", proc=1, kind="rd").inc()
+        reg.counter("mem.accesses", proc=1, kind="wr").inc()
+        assert reg.value("mem.accesses", proc=0, kind="rd") == 3
+        assert reg.total("mem.accesses") == 5
+        assert reg.total("mem.accesses", proc=1) == 2
+        assert reg.total("mem.accesses", kind="rd") == 4
+
+    def test_histogram(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1, 2, 4, 9):
+            h.observe(v)
+        assert h.count == 4 and h.min == 1 and h.max == 9
+        assert h.mean == pytest.approx(4.0)
+        d = h.as_dict()
+        assert sum(d["buckets"].values()) == 4
+
+    def test_as_dict_round_trips_json(self):
+        reg = MetricsRegistry()
+        reg.counter("a", x=1).inc()
+        reg.histogram("b").observe(2.0)
+        text = json.dumps(reg.as_dict())
+        assert json.loads(text)["counters"]["a"] == {"x=1": 1}
+
+    def test_collector_aggregates_a_run(self):
+        result, telemetry = _hw_result_with_telemetry()
+        reg = telemetry.registry
+        assert reg.total("mem.accesses") > 0
+        # phase labels flowed from the runtime events into the labels
+        phases = {
+            labels["phase"] for labels, _ in reg.series("mem.accesses")
+        }
+        assert "loop" in phases
+        # array names resolved through the machine's address space
+        arrays = {
+            labels["array"] for labels, _ in reg.series("mem.accesses")
+        }
+        assert any(a != "<unknown>" for a in arrays)
+
+
+# ----------------------------------------------------------------------
+# Provenance
+# ----------------------------------------------------------------------
+class TestProvenance:
+    def test_hash_stable_across_identical_configs(self):
+        p1, p2 = default_params(8), default_params(8)
+        c1, c2 = RunConfig(), RunConfig()
+        assert run_provenance(p1, c1).config_hash == run_provenance(p2, c2).config_hash
+        assert run_provenance(p1).params_hash == run_provenance(p2).params_hash
+
+    def test_hash_changes_with_config(self):
+        params = default_params(8)
+        base = run_provenance(params, RunConfig())
+        sparse = run_provenance(params, RunConfig(sparse_backup=True))
+        other_sched = run_provenance(
+            params,
+            RunConfig(schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 8, VirtualMode.CHUNK)),
+        )
+        assert base.config_hash != sparse.config_hash
+        assert base.config_hash != other_sched.config_hash
+        assert base.params_hash == sparse.params_hash
+
+    def test_hooks_do_not_affect_hash(self):
+        params = default_params(8)
+        plain = run_provenance(params, RunConfig())
+        hooked = run_provenance(
+            params, RunConfig(machine_hook=lambda m: None, telemetry=Telemetry())
+        )
+        assert plain.config_hash == hooked.config_hash
+
+    def test_run_result_is_stamped(self):
+        result, _ = _hw_result_with_telemetry()
+        assert result.provenance is not None
+        assert len(result.provenance.config_hash) == 64
+        assert result.provenance.scenario == "HW"
+        assert result.metrics is not None
+        assert "counters" in result.metrics
+
+    def test_serialize_includes_provenance(self):
+        from repro.experiments.serialize import run_result_to_dict
+
+        result, _ = _hw_result_with_telemetry()
+        doc = json.loads(json.dumps(run_result_to_dict(result)))
+        assert doc["provenance"]["config_hash"] == result.provenance.config_hash
+        assert "metrics" in doc
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+class TestExport:
+    def test_chrome_trace_round_trip(self, tmp_path):
+        result, telemetry = _hw_result_with_telemetry()
+        out = tmp_path / "trace.json"
+        count = telemetry.write_chrome_trace(
+            str(out), metadata=result.provenance.as_dict()
+        )
+        doc = json.load(open(out))
+        events = doc["traceEvents"]
+        assert len(events) == count > 0
+        timestamps = [e["ts"] for e in events]
+        assert timestamps == sorted(timestamps)
+        assert doc["metadata"]["config_hash"] == result.provenance.config_hash
+
+    def test_trace_covers_four_subsystems(self):
+        _, telemetry = _hw_result_with_telemetry()
+        doc = chrome_trace(telemetry.events)
+        cats = {e["cat"] for e in doc["traceEvents"]}
+        assert {"memsys", "core", "sim", "runtime"} <= cats
+        # and the raw stream agrees
+        assert {"memsys", "core", "sim", "runtime"} <= set(
+            telemetry.events.subsystems()
+        )
+
+    def test_phase_slices_nest(self):
+        _, telemetry = _hw_result_with_telemetry()
+        doc = chrome_trace(telemetry.events)
+        begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+        ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+        assert len(begins) == len(ends) >= 2  # backup + loop at least
+
+    def test_jsonl_lines_parse(self, tmp_path):
+        _, telemetry = _hw_result_with_telemetry()
+        out = tmp_path / "events.jsonl"
+        count = write_jsonl(telemetry.events, str(out))
+        lines = open(out).read().splitlines()
+        assert len(lines) == count > 0
+        first = json.loads(lines[0])
+        assert {"event", "subsystem", "time"} <= set(first)
+
+    def test_jsonl_filters_hits_by_default(self, tmp_path):
+        _, telemetry = _hw_result_with_telemetry()
+        filtered = write_jsonl(telemetry.events, str(tmp_path / "a.jsonl"))
+        full = write_jsonl(
+            telemetry.events, str(tmp_path / "b.jsonl"), include_hits=True
+        )
+        assert full > filtered
+
+    def test_phase_report_text(self):
+        result, telemetry = _hw_result_with_telemetry()
+        text = telemetry.phase_report()
+        assert "loop" in text and "%" in text
+        assert "adm" in text  # run header names the loop
+
+
+# ----------------------------------------------------------------------
+# Driver / engine integration
+# ----------------------------------------------------------------------
+class TestDriverIntegration:
+    def test_serial_run_emits_runtime_events(self):
+        workload = AdmWorkload(seed=7, scale=0.25)
+        loop = next(workload.executions(1))
+        telemetry = Telemetry()
+        result = run_serial(
+            loop, default_params(8), RunConfig(telemetry=telemetry)
+        )
+        starts = telemetry.events.of_type(RunStartEvent)
+        assert len(starts) == 1 and starts[0].scenario == "Serial"
+        phases = telemetry.events.of_type(PhaseEndEvent)
+        assert phases and phases[0].duration == result.phases["loop"]
+
+    def test_bare_bus_as_telemetry(self):
+        workload = AdmWorkload(seed=7, scale=0.25)
+        loop = next(workload.executions(1))
+        bus = EventBus()
+        recorder = EventRecorder().subscribe(bus)
+        run_serial(loop, default_params(8), RunConfig(telemetry=bus))
+        assert len(recorder) > 0
+
+    def test_failure_events_on_dependent_loop(self):
+        m = Machine(small_test_params(2))
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
+        m.spec.register_nonpriv(a)
+        recorder = EventRecorder()
+        bus = EventBus()
+        recorder.subscribe(bus)
+        m.attach_bus(bus)
+        m.spec.arm()
+        # proc 1 writes what proc 0 read: cross-iteration dependence
+        m.memsys.read(0, a.addr_of(3), 0.0)
+        m.memsys.write(1, a.addr_of(3), 10.0)
+        m.engine.drain()
+        assert m.spec.controller.failed
+        failures = [e for e in recorder if e.name == "failure"]
+        assert failures and failures[0].subsystem == "core"
+
+    def test_no_bus_means_no_overhead_paths(self):
+        # machines without telemetry must keep all bus fields None
+        m = Machine(small_test_params(2))
+        assert m.bus is None and m.memsys.bus is None and m.engine.bus is None
+        assert m.spec.ctx.bus is None and m.spec.controller.bus is None
+
+    def test_phase_report_composes(self):
+        result, telemetry = _hw_result_with_telemetry()
+        report = phase_report(telemetry.events)
+        for phase in result.phases:
+            if phase != "serial-reexec":
+                assert phase in report
