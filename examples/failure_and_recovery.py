@@ -7,9 +7,15 @@ This example injects a cross-iteration dependence at different points
 of a loop and shows the hardware abort latency tracking the dependence
 position while the software cost stays flat (paper §6.2 / ablation A3).
 
+The hardware runs execute with the invariant monitors armed
+(``RunConfig(monitors=MonitorSuite())``), so each abort also yields a
+forensic report naming the culprit element, the dependent iterations
+and the processors they ran on — the last one is printed in full.
+
 Run:  python examples/failure_and_recovery.py
 """
 
+from repro.obs import MonitorSuite
 from repro.params import default_params
 from repro.runtime import (
     RunConfig,
@@ -28,7 +34,8 @@ ITERATIONS = 64
 def main() -> None:
     params = default_params(num_processors=8)
     hw_cfg = RunConfig(
-        schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK)
+        schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK),
+        monitors=MonitorSuite(),
     )
     sw_cfg = RunConfig(
         schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
@@ -44,12 +51,16 @@ def main() -> None:
         hw = run_hw(loop, params, hw_cfg, serial_result=serial)
         sw = run_sw(loop, params, sw_cfg, serial_result=serial)
         assert not hw.passed and not sw.passed
+        assert hw.violations == []  # monitors saw nothing illegal
         print(f"{position:>11} {hw.detection_cycle:>15,.0f} "
               f"{hw.wall:>10,.0f} {sw.wall:>10,.0f} {serial.wall:>10,.0f}")
 
     print("\nthe hardware abort point follows the dependence position; the")
     print("software scheme always pays the full speculative execution plus")
     print("the marking/merging/analysis overhead before it can even know.")
+
+    print("\nwhy did the last run abort?  the forensics engine answers:\n")
+    print(hw.forensics.to_text())
 
 
 if __name__ == "__main__":

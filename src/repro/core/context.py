@@ -80,17 +80,32 @@ class ProtocolContext:
         return self.clock.now if self.clock is not None else 0.0
 
     def log_message(
-        self, time: float, label: str, proc: int, array: str, index: int
+        self,
+        time: float,
+        label: str,
+        proc: int,
+        array: str,
+        index: int,
+        iteration: Optional[int] = None,
     ) -> None:
         log = self.message_log
         bus = self.bus
         if log is None and bus is None:
             return
-        event = ProtocolMessageEvent(time, label, proc, array, index)
+        event = ProtocolMessageEvent(time, label, proc, array, index, iteration)
         if log is not None:
             log.append(event)
         if bus is not None:
             bus.emit(event)
+
+    def spec_bus(self):
+        """The bus, when some subscriber wants per-update speculation
+        directory events (``NonPrivDirUpdateEvent`` and friends) — else
+        None, so protocol hot paths skip the state snapshots entirely."""
+        bus = self.bus
+        if bus is not None and bus.wants_spec:
+            return bus
+        return None
 
     def send_to_directory(
         self,

@@ -324,6 +324,37 @@ class SpeculationEngine(SpeculationHooks):
             if first <= index < first + count:
                 self.nonpriv.merge_writeback(proc, entry, index, bits, now)
 
+    def commit(self, now: float) -> None:
+        """Loop-end commit: merge the access-bit state of every dirty
+        cached line into its home directory (Fig 6-(e) applied at the
+        final barrier).
+
+        During the loop, a tag update on a dirty line is legal without
+        telling the home ("no need to tell the directory" in 6-(c)) —
+        the information reaches the directory when the line is written
+        back.  A line still dirty when the loop ends therefore holds
+        access state the home never saw, and the final pass/FAIL verdict
+        must not be issued before that state is merged: it can reveal a
+        dependence (e.g. a write to an element another processor
+        read first while its First_update was still in flight).
+
+        Idempotent; the lines stay cached.  Call after the in-flight
+        protocol messages have drained.
+        """
+        if not self.controller.armed or self.controller.failed:
+            return
+        memsys = self.ctx.memsys
+        if memsys is None:
+            return
+        for proc, hierarchy in enumerate(memsys.caches):
+            # The same line object lives in both levels; the L2 is
+            # inclusive, so walking it covers everything.
+            for line in hierarchy.l2.resident_lines():
+                if line.dirty:
+                    self.on_writeback(proc, line, now)
+                    if self.controller.failed:
+                        return
+
     # ------------------------------------------------------------------
     def _line_span(self, entry: RangeEntry, line_addr: int) -> Tuple[int, int]:
         decl = entry.decl

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from ..obs.events import NonPrivDirUpdateEvent
 from ..types import AccessKind, FirstState, LineState
 from .accessbits import NO_PROC, NonPrivDirTable, NonPrivTagBits
 from .context import ProtocolContext
@@ -61,6 +62,31 @@ class NonPrivProtocol:
 
     def table(self, name: str) -> NonPrivDirTable:
         return self._tables[name]
+
+    # ------------------------------------------------------------------
+    # Directory-update telemetry (guarded by bus.wants_spec: the null
+    # path never snapshots table state)
+    # ------------------------------------------------------------------
+    def _dir_snapshot(self, name: str, index: int):
+        table = self._tables[name]
+        return (
+            int(table.first[index]),
+            bool(table.priv[index]),
+            bool(table.ronly[index]),
+        )
+
+    def _emit_dir_update(
+        self, bus, now: float, name: str, index: int, proc: int, cause: str,
+        snap,
+    ) -> None:
+        after = self._dir_snapshot(name, index)
+        if after != snap:
+            bus.emit(
+                NonPrivDirUpdateEvent(
+                    now, name, index, proc, cause,
+                    snap[0], snap[1], snap[2], after[0], after[1], after[2],
+                )
+            )
 
     # ------------------------------------------------------------------
     # Tag-side logic (Fig 6-(a) and 6-(c))
@@ -123,6 +149,8 @@ class NonPrivProtocol:
         table = self._tables[entry.decl.name]
         first = int(table.first[index])
         name = entry.decl.name
+        bus = self.ctx.spec_bus()
+        snap = self._dir_snapshot(name, index) if bus is not None else None
         if kind is AccessKind.READ:
             # (b)
             if first != proc and table.priv[index]:
@@ -144,6 +172,9 @@ class NonPrivProtocol:
             else:
                 table.first[index] = proc
                 table.priv[index] = True
+        if bus is not None:
+            cause = "read-req" if kind is AccessKind.READ else "write-req"
+            self._emit_dir_update(bus, now, name, index, proc, cause, snap)
         return 0
 
     # ------------------------------------------------------------------
@@ -157,6 +188,8 @@ class NonPrivProtocol:
         table = self._tables[entry.decl.name]
         name = entry.decl.name
         first = int(table.first[index])
+        bus = self.ctx.spec_bus()
+        snap = self._dir_snapshot(name, index) if bus is not None else None
         # Only state the *local* processor could have produced is merged:
         # tag bits with First == OTHER were inherited from the directory
         # on the fill and carry no new information.
@@ -188,6 +221,8 @@ class NonPrivProtocol:
         # re-merging an inherited ROnly is idempotent.
         if bits.ronly:
             table.ronly[index] = True
+        if bus is not None:
+            self._emit_dir_update(bus, now, name, index, proc, "writeback", snap)
 
     # ------------------------------------------------------------------
     # Tag fill (directory -> cache copy on a fetch)
@@ -231,6 +266,12 @@ class NonPrivProtocol:
     ) -> None:
         """(f): home receives a First_update."""
         table = self._tables[entry.decl.name]
+        bus = self.ctx.spec_bus()
+        snap = (
+            self._dir_snapshot(entry.decl.name, index)
+            if bus is not None
+            else None
+        )
         if table.priv[index]:
             # A First_update racing a write FAILs — unless both came from
             # the same processor, in which case the update is stale
@@ -247,9 +288,17 @@ class NonPrivProtocol:
         first = int(table.first[index])
         if first == NO_PROC:
             table.first[index] = proc
+            if bus is not None:
+                self._emit_dir_update(
+                    bus, now, entry.decl.name, index, proc, "first-update", snap
+                )
         elif first != proc:
             # Race between two First_updates: mark read-shared and bounce.
             table.ronly[index] = True
+            if bus is not None:
+                self._emit_dir_update(
+                    bus, now, entry.decl.name, index, proc, "first-update", snap
+                )
             self.ctx.stats.first_update_fails += 1
             self.ctx.log_message(
                 now, "First_update_fail", proc, entry.decl.name, index
@@ -305,9 +354,19 @@ class NonPrivProtocol:
                 entry.decl.name, index, now, proc,
             )
             return
+        bus = self.ctx.spec_bus()
+        snap = (
+            self._dir_snapshot(entry.decl.name, index)
+            if bus is not None
+            else None
+        )
         # Race between two ROnly_updates needs no bounce: the second
         # message is plainly ignored (the sender's tag is already right).
         table.ronly[index] = True
+        if bus is not None:
+            self._emit_dir_update(
+                bus, now, entry.decl.name, index, proc, "ronly-update", snap
+            )
 
     # ------------------------------------------------------------------
     def _fail(

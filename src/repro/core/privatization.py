@@ -43,6 +43,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..address import ArrayDecl
+from ..obs.events import PrivDirUpdateEvent, PrivSimpleDirUpdateEvent
 from ..types import AccessKind
 from .accessbits import (
     NO_ITER,
@@ -97,6 +98,26 @@ class PrivProtocol:
 
     def private_table(self, name: str, proc: int) -> PrivPrivateDirTable:
         return self._private[(name, proc)]
+
+    # ------------------------------------------------------------------
+    # Shared-directory telemetry (guarded by bus.wants_spec)
+    # ------------------------------------------------------------------
+    def _shared_snapshot(self, name: str, index: int):
+        table = self._shared[name]
+        return int(table.max_r1st[index]), table.min_w_of(index)
+
+    def _emit_shared_update(
+        self, bus, now: float, name: str, index: int, proc: int,
+        iteration: int, cause: str, snap,
+    ) -> None:
+        after = self._shared_snapshot(name, index)
+        if after != snap:
+            bus.emit(
+                PrivDirUpdateEvent(
+                    now, name, index, proc, iteration, cause,
+                    snap[0], snap[1], after[0], after[1],
+                )
+            )
 
     # ------------------------------------------------------------------
     # Tag-side logic (Fig 8-(a), Fig 9-(f))
@@ -193,7 +214,7 @@ class PrivProtocol:
         self, proc: int, name: str, index: int, iteration: int, now: float
     ) -> None:
         self.ctx.stats.read_first_signals += 1
-        self.ctx.log_message(now, "read-first", proc, name, index)
+        self.ctx.log_message(now, "read-first", proc, name, index, iteration)
         node = self.ctx.params.node_of_processor(proc)
         # The private copy is homed at the processor's node: local hop.
         self.ctx.scheduler.post(
@@ -215,7 +236,7 @@ class PrivProtocol:
         self, proc: int, name: str, index: int, iteration: int, now: float
     ) -> None:
         self.ctx.stats.first_write_signals += 1
-        self.ctx.log_message(now, "first-write", proc, name, index)
+        self.ctx.log_message(now, "first-write", proc, name, index, iteration)
         self.ctx.scheduler.post(
             now + self.ctx.local_msg_delay(),
             lambda t: self._private_first_write(proc, name, index, iteration, t),
@@ -272,7 +293,13 @@ class PrivProtocol:
                 name, index, now, proc, iteration,
             )
             return
+        bus = self.ctx.spec_bus()
+        snap = self._shared_snapshot(name, index) if bus is not None else None
         table.note_read_first(index, iteration)
+        if bus is not None:
+            self._emit_shared_update(
+                bus, now, name, index, proc, iteration, "read-first", snap
+            )
 
     def _forward_first_write(
         self, proc: int, name: str, index: int, iteration: int, now: float
@@ -300,7 +327,13 @@ class PrivProtocol:
                 name, index, now, proc, iteration,
             )
             return
+        bus = self.ctx.spec_bus()
+        snap = self._shared_snapshot(name, index) if bus is not None else None
         table.note_write(index, iteration, proc, self.epoch)
+        if bus is not None:
+            self._emit_shared_update(
+                bus, now, name, index, proc, iteration, "first-write", snap
+            )
 
     # ------------------------------------------------------------------
     # Read-in (Figs 8-(e), 9-(j)): blocking fetch from the shared copy
@@ -311,7 +344,8 @@ class PrivProtocol:
     ) -> int:
         self.ctx.stats.read_ins += 1
         self.ctx.log_message(
-            now, "read-in-for-write" if for_write else "read-in", proc, name, index
+            now, "read-in-for-write" if for_write else "read-in", proc, name,
+            index, iteration,
         )
         decl = self._shared_decls[name]
         elem_addr = decl.addr_of(index)
@@ -329,6 +363,8 @@ class PrivProtocol:
 
         table = self._shared[name]
         check_time = now + self.ctx.dir_to_dir_delay(my_node, shared_home) + queue
+        bus = self.ctx.spec_bus()
+        snap = self._shared_snapshot(name, index) if bus is not None else None
         if for_write:
             # (j): read-in-req for write.
             max_r1st = int(table.max_r1st[index])
@@ -340,6 +376,11 @@ class PrivProtocol:
                 )
             else:
                 table.note_write(index, iteration, proc, self.epoch)
+                if bus is not None:
+                    self._emit_shared_update(
+                        bus, check_time, name, index, proc, iteration,
+                        "read-in-for-write", snap,
+                    )
         else:
             # (e): plain read-in request.
             min_w = table.min_w_of(index)
@@ -357,6 +398,11 @@ class PrivProtocol:
                 )
             else:
                 table.note_read_first(index, iteration)
+                if bus is not None:
+                    self._emit_shared_update(
+                        bus, check_time, name, index, proc, iteration,
+                        "read-in", snap,
+                    )
         return latency + queue
 
     # ------------------------------------------------------------------
@@ -488,7 +534,7 @@ class PrivSimpleProtocol:
         self, proc: int, name: str, index: int, iteration: int, now: float
     ) -> None:
         self.ctx.stats.read_first_signals += 1
-        self.ctx.log_message(now, "read-first", proc, name, index)
+        self.ctx.log_message(now, "read-first", proc, name, index, iteration)
         self.ctx.scheduler.post(
             now + self.ctx.local_msg_delay(),
             lambda t: self._private_read(proc, name, index, iteration, t),
@@ -519,7 +565,7 @@ class PrivSimpleProtocol:
         self, proc: int, name: str, index: int, iteration: int, now: float
     ) -> None:
         self.ctx.stats.first_write_signals += 1
-        self.ctx.log_message(now, "first-write", proc, name, index)
+        self.ctx.log_message(now, "first-write", proc, name, index, iteration)
         self.ctx.scheduler.post(
             now + self.ctx.local_msg_delay(),
             lambda t: self._private_write(proc, name, index, iteration, t),
@@ -558,6 +604,12 @@ class PrivSimpleProtocol:
         is_write: bool,
     ) -> None:
         table = self._shared[name]
+        bus = self.ctx.spec_bus()
+        snap = (
+            (bool(table.any_r1st[index]), bool(table.any_w[index]))
+            if bus is not None
+            else None
+        )
         if is_write:
             table.any_w[index] = True
             if table.any_r1st[index]:
@@ -571,6 +623,16 @@ class PrivSimpleProtocol:
                 self._fail(
                     "element both read-first and written (AnyR1st after AnyW)",
                     name, index, now, proc, iteration,
+                )
+        if bus is not None:
+            after = (bool(table.any_r1st[index]), bool(table.any_w[index]))
+            if after != snap:
+                bus.emit(
+                    PrivSimpleDirUpdateEvent(
+                        now, name, index, proc, iteration,
+                        "write" if is_write else "read-first",
+                        snap[0], snap[1], after[0], after[1],
+                    )
                 )
 
     def _fail(

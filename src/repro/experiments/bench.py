@@ -1,0 +1,113 @@
+"""The ``bench`` subcommand: simulator-throughput regression harness.
+
+Measures host wall-clock time of one representative speculative run
+under three instrumentation levels — bare (no bus attached), telemetry
+(full event recording) and monitors (invariant monitors + forensics
+recorder) — interleaving the repetitions so host-load drift hits all
+three equally, and writes a machine-readable ``BENCH_PR3.json``::
+
+    {
+      "benchmark": "simulator-throughput",
+      "workload": {...},
+      "reps": 7,
+      "bare":      {"best_s": ..., "iters_per_s": ...},
+      "telemetry": {"best_s": ..., "overhead_pct": ...},
+      "monitors":  {"best_s": ..., "overhead_pct": ...},
+      "provenance": {"config_hash": ..., "code_version": ...}
+    }
+
+Intended for CI trend tracking (upload the JSON as an artifact and
+diff across commits); the hard <3% telemetry-off gate lives in
+``benchmarks/bench_simulator_throughput.py`` and is unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, List
+
+from ..obs import MonitorSuite, Telemetry
+from ..params import small_test_params
+from ..runtime.driver import RunConfig, run_hw
+from ..workloads.synthetic import parallel_nonpriv_loop
+
+BENCH_ITERATIONS = 48
+BENCH_ELEMENTS = 1024
+BENCH_PROCESSORS = 4
+
+
+def _measure(fn: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_bench(out: str = "BENCH_PR3.json", reps: int = 7) -> str:
+    loop = parallel_nonpriv_loop(
+        "bench-throughput", elements=BENCH_ELEMENTS, iterations=BENCH_ITERATIONS
+    )
+    params = small_test_params(BENCH_PROCESSORS)
+
+    def bare() -> None:
+        run_hw(loop, params, RunConfig())
+
+    def with_telemetry() -> None:
+        run_hw(loop, params, RunConfig(telemetry=Telemetry()))
+
+    def with_monitors() -> None:
+        result = run_hw(loop, params, RunConfig(monitors=MonitorSuite()))
+        assert result.violations == []
+
+    variants: Dict[str, Callable[[], None]] = {
+        "bare": bare,
+        "telemetry": with_telemetry,
+        "monitors": with_monitors,
+    }
+    times: Dict[str, List[float]] = {name: [] for name in variants}
+    for name, fn in variants.items():  # warmup round, not measured
+        fn()
+    for _ in range(reps):
+        for name, fn in variants.items():
+            times[name].append(_measure(fn))
+
+    best = {name: min(ts) for name, ts in times.items()}
+    provenance = run_hw(loop, params, RunConfig()).provenance
+    doc = {
+        "benchmark": "simulator-throughput",
+        "workload": {
+            "loop": loop.name,
+            "iterations": BENCH_ITERATIONS,
+            "elements": BENCH_ELEMENTS,
+            "num_processors": BENCH_PROCESSORS,
+        },
+        "reps": reps,
+        "bare": {
+            "best_s": best["bare"],
+            "iters_per_s": BENCH_ITERATIONS / best["bare"],
+        },
+        "telemetry": {
+            "best_s": best["telemetry"],
+            "overhead_pct": 100.0 * (best["telemetry"] / best["bare"] - 1.0),
+        },
+        "monitors": {
+            "best_s": best["monitors"],
+            "overhead_pct": 100.0 * (best["monitors"] / best["bare"] - 1.0),
+        },
+        "provenance": provenance.as_dict() if provenance is not None else None,
+    }
+    with open(out, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+    lines = [
+        f"bench: {loop.name} on {BENCH_PROCESSORS} procs, best of {reps}",
+        f"  bare:      {best['bare'] * 1e3:8.1f} ms "
+        f"({doc['bare']['iters_per_s']:,.0f} loop iterations/s)",
+        f"  telemetry: {best['telemetry'] * 1e3:8.1f} ms "
+        f"({doc['telemetry']['overhead_pct']:+.1f}%)",
+        f"  monitors:  {best['monitors'] * 1e3:8.1f} ms "
+        f"({doc['monitors']['overhead_pct']:+.1f}%)",
+        f"wrote {out}",
+    ]
+    return "\n".join(lines)

@@ -14,7 +14,7 @@ import sys
 import time
 from typing import Callable, Dict, List
 
-from . import charts, claims, figures, report, serialize, tracerun
+from . import bench, charts, claims, doctor, figures, report, serialize, tracerun
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {}
 
@@ -91,6 +91,16 @@ def _table2(args) -> str:
     return report.render_table2(figures.table2_state())
 
 
+@_register("doctor")
+def _doctor(args) -> str:
+    return doctor.run_doctor(num_processors=args.doctor_processors)
+
+
+@_register("bench")
+def _bench(args) -> str:
+    return bench.run_bench(out=args.bench_out, reps=args.bench_reps)
+
+
 @_register("trace")
 def _trace(args) -> str:
     return tracerun.run_trace(
@@ -139,12 +149,25 @@ def main(argv: "List[str] | None" = None) -> int:
         choices=sorted(figures.WORKLOAD_CLASSES),
         help="trace: which workload to instrument",
     )
+    parser.add_argument(
+        "--doctor-processors", type=int, default=4,
+        help="doctor: processor count for the monitored self-check runs",
+    )
+    parser.add_argument(
+        "--bench-out", default="BENCH_PR3.json",
+        help="bench: output path for the throughput JSON",
+    )
+    parser.add_argument(
+        "--bench-reps", type=int, default=7,
+        help="bench: repetitions per instrumentation level (best-of)",
+    )
     args = parser.parse_args(argv)
 
-    # "all" regenerates every table/figure; trace (which writes files)
-    # stays explicit-only.
+    # "all" regenerates every table/figure; trace and bench (which
+    # write files) and doctor (a self-check, not an evaluation result)
+    # stay explicit-only.
     chosen = (
-        sorted(n for n in EXPERIMENTS if n != "trace")
+        sorted(n for n in EXPERIMENTS if n not in ("trace", "doctor", "bench"))
         if "all" in args.experiments
         else args.experiments
     )

@@ -41,6 +41,12 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
         out["detection_cycle"] = result.detection_cycle
     if result.mem is not None:
         out["mem"] = dataclasses.asdict(result.mem)
+    if result.assignment is not None:
+        out["assignment"] = [list(its) for its in result.assignment]
+    if result.violations is not None:
+        out["violations"] = [v.to_dict() for v in result.violations]
+    if result.forensics is not None:
+        out["forensics"] = result.forensics.to_dict()
     if result.lrpd is not None:
         out["lrpd"] = {
             "passed": result.lrpd.passed,

@@ -3,9 +3,37 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Set
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
-from ..types import DirState
+from ..types import AccessKind, DirState
+
+#: Legal directory state machine of the base coherence protocol, as the
+#: access kinds allowed to drive each (prev -> new) transition.  An
+#: empty set marks maintenance transitions (victim writeback, clean
+#: drop) that no data request may produce.  Same-state "transitions"
+#: are never emitted as events.  The invariant monitors
+#: (``repro.obs.monitor``) check the ``DirTransitionEvent`` stream
+#: against this table.
+LEGAL_DIR_TRANSITIONS: Dict[Tuple[DirState, DirState], FrozenSet[AccessKind]] = {
+    (DirState.UNCACHED, DirState.SHARED): frozenset({AccessKind.READ}),
+    (DirState.UNCACHED, DirState.DIRTY): frozenset({AccessKind.WRITE}),
+    (DirState.SHARED, DirState.DIRTY): frozenset({AccessKind.WRITE}),
+    (DirState.DIRTY, DirState.SHARED): frozenset({AccessKind.READ}),
+    (DirState.DIRTY, DirState.UNCACHED): frozenset(),
+    (DirState.SHARED, DirState.UNCACHED): frozenset(),
+}
+
+
+def legal_transition(
+    prev: DirState, new: DirState, kind: Optional[AccessKind] = None
+) -> bool:
+    """Whether ``prev -> new`` under request ``kind`` obeys the base
+    protocol.  ``kind=None`` (maintenance traffic) is allowed on every
+    legal edge."""
+    kinds = LEGAL_DIR_TRANSITIONS.get((prev, new))
+    if kinds is None:
+        return False
+    return kind is None or kind in kinds
 
 
 @dataclasses.dataclass

@@ -40,7 +40,17 @@ from .export import (
     write_chrome_trace,
     write_jsonl,
 )
+from .forensics import ForensicReport, MinimizedReproducer, build_report, element_trace
 from .metrics import Counter, Histogram, MetricsCollector, MetricsRegistry
+from .monitor import (
+    CoherenceMonitor,
+    InvariantViolation,
+    Monitor,
+    MonitorSuite,
+    NonPrivMonitor,
+    PrivMonitor,
+    PrivSimpleMonitor,
+)
 from .provenance import RunProvenance, canonical_json, fingerprint, run_provenance
 
 __all__ = [
@@ -63,6 +73,17 @@ __all__ = [
     "PhaseEndEvent",
     "AbortEvent",
     "RestoreEvent",
+    "InvariantViolation",
+    "Monitor",
+    "MonitorSuite",
+    "NonPrivMonitor",
+    "PrivMonitor",
+    "PrivSimpleMonitor",
+    "CoherenceMonitor",
+    "ForensicReport",
+    "MinimizedReproducer",
+    "build_report",
+    "element_trace",
     "Counter",
     "Histogram",
     "MetricsRegistry",

@@ -20,7 +20,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, List, Optional, Type
 
-from .events import AccessEvent, DirTransitionEvent, Event
+from .events import (
+    AccessEvent,
+    DirTransitionEvent,
+    Event,
+    NonPrivDirUpdateEvent,
+    PrivDirUpdateEvent,
+    PrivSimpleDirUpdateEvent,
+)
 
 __all__ = ["EventBus", "BoundedLog", "EventRecorder"]
 
@@ -34,6 +41,10 @@ class EventBus:
         #: hot-path flags: any subscriber interested in per-access events?
         self.wants_access = False
         self.wants_dir = False
+        #: any subscriber interested in per-update speculation-directory
+        #: events (the invariant monitors)?  Off by default so protocol
+        #: hot paths never snapshot table state for nobody.
+        self.wants_spec = False
 
     # ------------------------------------------------------------------
     def subscribe(
@@ -70,6 +81,14 @@ class EventBus:
         any_sub = bool(self._all)
         self.wants_access = any_sub or bool(self._subs.get(AccessEvent))
         self.wants_dir = any_sub or bool(self._subs.get(DirTransitionEvent))
+        self.wants_spec = any_sub or any(
+            bool(self._subs.get(t))
+            for t in (
+                NonPrivDirUpdateEvent,
+                PrivDirUpdateEvent,
+                PrivSimpleDirUpdateEvent,
+            )
+        )
 
     @property
     def subscriber_count(self) -> int:

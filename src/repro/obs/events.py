@@ -8,7 +8,8 @@ subsystem  events
 ========== ======================================================
 memsys     :class:`AccessEvent`, :class:`DirTransitionEvent`
 core       :class:`ProtocolMessageEvent`, :class:`SpeculationArmEvent`,
-           :class:`FailureEvent`
+           :class:`FailureEvent`, :class:`NonPrivDirUpdateEvent`,
+           :class:`PrivDirUpdateEvent`, :class:`PrivSimpleDirUpdateEvent`
 sim        :class:`BarrierWaitEvent`, :class:`EpochSyncEvent`,
            :class:`QuiesceEvent`
 runtime    :class:`RunStartEvent`, :class:`RunEndEvent`,
@@ -35,6 +36,9 @@ __all__ = [
     "ProtocolMessageEvent",
     "SpeculationArmEvent",
     "FailureEvent",
+    "NonPrivDirUpdateEvent",
+    "PrivDirUpdateEvent",
+    "PrivSimpleDirUpdateEvent",
     "BarrierWaitEvent",
     "EpochSyncEvent",
     "QuiesceEvent",
@@ -108,6 +112,75 @@ class ProtocolMessageEvent(Event):
     proc: int
     array: str
     index: int
+    #: virtual iteration carrying the message, when the protocol knows
+    #: it (privatization signals); appended with a default so the legacy
+    #: positional field order stays stable
+    iteration: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class NonPrivDirUpdateEvent(Event):
+    """One non-privatization directory-table update (Figs 6/7): the
+    per-element ``First``/``NoShr(Priv)``/``ROnly`` state before and
+    after, with the causing request.  Emitted only when a subscriber
+    asked for it (``bus.wants_spec``) — the null path stays free."""
+
+    subsystem = "core"
+    name = "nonpriv-dir-update"
+
+    array: str
+    index: int
+    proc: int
+    #: "read-req" (b), "write-req" (d), "writeback" (e),
+    #: "first-update" (f) or "ronly-update" (h)
+    cause: str
+    prev_first: int  # processor ID, NO_PROC (-1) when unset
+    prev_priv: bool
+    prev_ronly: bool
+    first: int
+    priv: bool
+    ronly: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivDirUpdateEvent(Event):
+    """One privatization shared-directory time-stamp update (Figs 8/9):
+    ``MaxR1st``/``MinW`` before and after.  ``min_w`` of ``None`` means
+    "no write seen yet" (compared as +infinity by the protocol)."""
+
+    subsystem = "core"
+    name = "priv-dir-update"
+
+    array: str
+    index: int
+    proc: int
+    iteration: int
+    #: "read-first" (d), "first-write" (i), "read-in" (e) or
+    #: "read-in-for-write" (j)
+    cause: str
+    prev_max_r1st: int
+    prev_min_w: Optional[int]
+    max_r1st: int
+    min_w: Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class PrivSimpleDirUpdateEvent(Event):
+    """One reduced-privatization shared-directory update (§4.1): the
+    sticky ``AnyR1st``/``AnyW`` bits before and after."""
+
+    subsystem = "core"
+    name = "priv-simple-dir-update"
+
+    array: str
+    index: int
+    proc: int
+    iteration: int
+    cause: str  # "read-first" or "write"
+    prev_any_r1st: bool
+    prev_any_w: bool
+    any_r1st: bool
+    any_w: bool
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,0 +1,465 @@
+"""Abort root-cause forensics (speculation forensics, part 2).
+
+When a speculative run FAILs, the protocols report *where* the
+dependence was detected (element, processor, cycle) but not *why* the
+loop carries that dependence.  This module reconstructs the why from
+the ground truth — the loop's own access trace plus the run's realized
+iteration-to-processor assignment and the recorded protocol messages —
+and packages it as a :class:`ForensicReport`:
+
+* the culprit element and its per-iteration access history (who read
+  it first, who wrote it, in serial iteration order);
+* the offending dependence pair (source iteration, destination
+  iteration, flow/anti/output kind) that makes the loop ineligible
+  under the protocol's criterion;
+* the processors those iterations ran on and the protocol messages the
+  element generated, ending in the FAIL;
+* a **minimized reproducer**: the smallest subset of original
+  iterations that still aborts, packaged as a standalone
+  :class:`~repro.trace.loop.Loop` scheduled so the dependence spans
+  processors — run it with :meth:`MinimizedReproducer.run` to watch
+  the failure in isolation.
+
+Reports are built by :meth:`repro.obs.monitor.MonitorSuite.finalize`
+(armed via ``RunConfig(monitors=...)``) and land on
+``RunResult.forensics``; the ``doctor`` CLI experiment prints them for
+the fault-injection workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..trace.loop import Loop
+from ..trace.ops import AccessOp
+from ..types import AccessKind, ProtocolKind
+from .events import (
+    Event,
+    NonPrivDirUpdateEvent,
+    PrivDirUpdateEvent,
+    PrivSimpleDirUpdateEvent,
+    ProtocolMessageEvent,
+)
+
+__all__ = [
+    "ElementAccess",
+    "ForensicReport",
+    "MinimizedReproducer",
+    "build_report",
+    "element_trace",
+]
+
+
+# ----------------------------------------------------------------------
+# Ground truth: what the loop actually does to one element
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class ElementAccess:
+    """How one (original, 1-based) iteration touches the element."""
+
+    iteration: int
+    read_first: bool  # the iteration's first access is a read
+    read: bool
+    wrote: bool
+
+    @property
+    def tag(self) -> str:
+        if self.read_first:
+            return "R1st+W" if self.wrote else "R1st"
+        return "W+R" if self.read else "W"
+
+
+def element_trace(loop: Loop, array: str, index: int) -> List[ElementAccess]:
+    """Per-iteration access summary of ``array[index]``, serial order."""
+    out: List[ElementAccess] = []
+    for it, ops in enumerate(loop.iterations, start=1):
+        first: Optional[AccessKind] = None
+        read = wrote = False
+        for op in ops:
+            if isinstance(op, AccessOp) and op.array == array and op.index == index:
+                if first is None:
+                    first = op.kind
+                if op.is_read:
+                    read = True
+                else:
+                    wrote = True
+        if first is not None:
+            out.append(
+                ElementAccess(it, first is AccessKind.READ, read, wrote)
+            )
+    return out
+
+
+def _dependence_pair(
+    trace: Sequence[ElementAccess], protocol: Optional[ProtocolKind]
+) -> Optional[Tuple[Tuple[int, ...], str]]:
+    """The smallest iteration subset that violates ``protocol``'s
+    criterion, plus the dependence kind it carries.
+
+    Returns ``(iterations, kind)`` with original 1-based iteration
+    numbers in ascending order, or None when the trace alone cannot
+    explain the failure (e.g. a false positive from per-line bits).
+    """
+    read_firsts = [a.iteration for a in trace if a.read_first]
+    reads = [a.iteration for a in trace if a.read]
+    writes = [a.iteration for a in trace if a.wrote]
+    if protocol is ProtocolKind.PRIV:
+        # Figs 8/9: FAIL iff some iteration reads-first data a *lower*
+        # iteration wrote (MaxR1st > MinW).
+        for w in writes:
+            for r in read_firsts:
+                if r > w:
+                    return (w, r), "flow"
+        return None
+    if protocol is ProtocolKind.PRIV_SIMPLE:
+        # §4.1: FAIL as soon as any element is both read-first and
+        # written, anywhere in the loop (even within one iteration).
+        for a in trace:
+            if a.read_first and a.wrote:
+                return (a.iteration,), "flow"
+        for w in writes:
+            for r in read_firsts:
+                if r != w:
+                    return tuple(sorted((w, r))), "flow" if r > w else "anti"
+        return None
+    # Non-privatization: the element must end read-only or
+    # single-processor, so any two iterations with a write among them
+    # form a culprit pair once they land on different processors.
+    if writes:
+        w = writes[0]
+        later_reads = [r for r in reads if r > w]
+        if later_reads:
+            return (w, later_reads[0]), "flow"
+        earlier_reads = [r for r in reads if r < w]
+        if earlier_reads:
+            return (earlier_reads[-1], w), "anti"
+        if len(writes) >= 2:
+            return (writes[0], writes[1]), "output"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Minimized reproducer
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class MinimizedReproducer:
+    """A standalone loop built from the smallest iteration subset that
+    still carries the fatal dependence.
+
+    The subset is scheduled one-iteration-per-processor (static chunks,
+    iteration-wise numbering) so the dependence is guaranteed to span
+    processors — the condition under which the protocols must FAIL.
+    """
+
+    loop: Loop
+    array: str
+    index: int
+    #: original 1-based iteration numbers, ascending
+    iterations: Tuple[int, ...]
+    scenario: str  # "hw" or "sw"
+
+    def run(self, params=None, config=None):
+        """Execute the reproducer; returns the ``RunResult`` (whose
+        ``passed`` should be False)."""
+        from ..params import small_test_params
+        from ..runtime.driver import RunConfig, run_hw, run_sw
+        from ..runtime.schedule import (
+            SchedulePolicy,
+            ScheduleSpec,
+            VirtualMode,
+        )
+
+        if params is None:
+            params = small_test_params(2)
+        if config is None:
+            config = RunConfig(
+                schedule=ScheduleSpec(
+                    policy=SchedulePolicy.STATIC_CHUNK,
+                    chunk_iterations=1,
+                    virtual_mode=VirtualMode.ITERATION,
+                )
+            )
+        runner = run_sw if self.scenario == "sw" else run_hw
+        return runner(self.loop, params, config)
+
+    def reproduces(self, params=None) -> bool:
+        """Whether the minimized loop still aborts."""
+        return not self.run(params).passed
+
+    def to_dict(self) -> dict:
+        return {
+            "loop": self.loop.name,
+            "array": self.array,
+            "index": self.index,
+            "iterations": list(self.iterations),
+            "scenario": self.scenario,
+        }
+
+
+def minimize(
+    loop: Loop, array: str, index: int, scenario: str = "hw"
+) -> Optional[MinimizedReproducer]:
+    """Build the minimized reproducer for a failure on ``array[index]``,
+    or None when the serial trace carries no fatal dependence."""
+    try:
+        protocol = loop.array(array).protocol
+    except KeyError:
+        return None
+    pair = _dependence_pair(element_trace(loop, array, index), protocol)
+    if pair is None:
+        return None
+    iterations, _ = pair
+    subset = [list(loop.iterations[i - 1]) for i in iterations]
+    weights = (
+        [loop.iteration_weights[i - 1] for i in iterations]
+        if loop.iteration_weights is not None
+        else None
+    )
+    mini = Loop(f"{loop.name}@min", loop.arrays, subset, weights)
+    return MinimizedReproducer(mini, array, index, tuple(iterations), scenario)
+
+
+# ----------------------------------------------------------------------
+# The report
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ForensicReport:
+    """Root-cause reconstruction of one aborted speculative run."""
+
+    loop_name: str
+    scenario: str
+    reason: str
+    array: Optional[str]
+    index: Optional[int]
+    protocol: Optional[str]
+    #: simulated cycle of detection (within the loop phase)
+    detection_cycle: Optional[float]
+    #: processor / virtual iteration whose access raised the FAIL
+    failing_processor: Optional[int]
+    failing_iteration: Optional[int]
+    #: the element's serial access history
+    accesses: List[ElementAccess] = dataclasses.field(default_factory=list)
+    #: original iterations -> processor, from the realized assignment
+    processors: Dict[int, int] = dataclasses.field(default_factory=dict)
+    #: the fatal dependence: original iterations + flow/anti/output
+    dependence_iterations: Optional[Tuple[int, ...]] = None
+    dependence_kind: Optional[str] = None
+    #: protocol messages the element generated (time order)
+    messages: List[ProtocolMessageEvent] = dataclasses.field(default_factory=list)
+    #: speculation-directory updates of the element (time order)
+    dir_updates: List[Event] = dataclasses.field(default_factory=list)
+    minimized: Optional[MinimizedReproducer] = None
+    #: validation outcome: did the minimized loop re-abort?  (None when
+    #: validation was skipped)
+    minimized_reproduces: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def element(self) -> Optional[Tuple[str, int]]:
+        if self.array is None or self.index is None:
+            return None
+        return (self.array, self.index)
+
+    def to_dict(self) -> dict:
+        from .export import event_to_dict
+
+        return {
+            "loop": self.loop_name,
+            "scenario": self.scenario,
+            "reason": self.reason,
+            "element": list(self.element) if self.element else None,
+            "protocol": self.protocol,
+            "detection_cycle": self.detection_cycle,
+            "failing_processor": self.failing_processor,
+            "failing_iteration": self.failing_iteration,
+            "accesses": [dataclasses.asdict(a) for a in self.accesses],
+            "processors": {str(k): v for k, v in self.processors.items()},
+            "dependence": (
+                {
+                    "iterations": list(self.dependence_iterations),
+                    "kind": self.dependence_kind,
+                }
+                if self.dependence_iterations is not None
+                else None
+            ),
+            "messages": [event_to_dict(e) for e in self.messages],
+            "dir_updates": [event_to_dict(e) for e in self.dir_updates],
+            "minimized": (
+                self.minimized.to_dict() if self.minimized is not None else None
+            ),
+            "minimized_reproduces": self.minimized_reproduces,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"== forensic report: loop {self.loop_name!r} ({self.scenario}) ==",
+            f"reason: {self.reason}",
+        ]
+        if self.element is not None:
+            elem = f"{self.array}[{self.index}]"
+            lines.append(f"culprit element: {elem} (protocol {self.protocol})")
+        where = []
+        if self.failing_processor is not None:
+            where.append(f"by P{self.failing_processor}")
+        if self.failing_iteration is not None:
+            where.append(f"in virtual iteration {self.failing_iteration}")
+        if self.detection_cycle is not None:
+            where.append(f"at cycle {self.detection_cycle:g}")
+        if where:
+            lines.append("detected " + " ".join(where))
+        if self.accesses:
+            lines.append("element access history (serial iteration order):")
+            for a in self.accesses:
+                proc = self.processors.get(a.iteration)
+                ran = f"  ran on P{proc}" if proc is not None else ""
+                lines.append(f"  iteration {a.iteration:>4}: {a.tag:<7}{ran}")
+        if self.dependence_iterations is not None:
+            its = self.dependence_iterations
+            if len(its) == 1:
+                lines.append(
+                    f"dependence: {self.dependence_kind} within iteration "
+                    f"{its[0]} (element read first, then written)"
+                )
+            else:
+                lines.append(
+                    f"dependence: {self.dependence_kind}, iteration {its[0]}"
+                    f" -> iteration {its[1]}"
+                )
+        if self.messages:
+            lines.append(f"protocol messages for the element ({len(self.messages)}):")
+            for m in self.messages[-12:]:
+                it = f" iter={m.iteration}" if m.iteration is not None else ""
+                lines.append(f"  t={m.time:<10g} {m.label} P{m.proc}{it}")
+        if self.minimized is not None:
+            status = {True: "re-aborts", False: "does NOT re-abort", None: "unvalidated"}[
+                self.minimized_reproduces
+            ]
+            lines.append(
+                f"minimized reproducer: iterations {self.minimized.iterations}"
+                f" of the original loop ({status})"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Builder
+# ----------------------------------------------------------------------
+def _sw_culprit(loop: Loop, array: str) -> Optional[int]:
+    """Locate the element that fails the LRPD criterion for ``array``
+    (software scheme: the test names the array but not the element)."""
+    spec = loop.array(array)
+    traces: Dict[int, List[ElementAccess]] = {}
+    for it, ops in enumerate(loop.iterations, start=1):
+        seen: Dict[int, ElementAccess] = {}
+        for op in ops:
+            if isinstance(op, AccessOp) and op.array == array:
+                prev = seen.get(op.index)
+                if prev is None:
+                    seen[op.index] = ElementAccess(
+                        it, op.is_read, op.is_read, op.is_write
+                    )
+                else:
+                    seen[op.index] = dataclasses.replace(
+                        prev,
+                        read=prev.read or op.is_read,
+                        wrote=prev.wrote or op.is_write,
+                    )
+        for index, acc in seen.items():
+            traces.setdefault(index, []).append(acc)
+    privatized = spec.privatized
+    for index, trace in sorted(traces.items()):
+        if privatized:
+            if _dependence_pair(trace, ProtocolKind.PRIV_SIMPLE) is not None:
+                return index
+        else:
+            reads = any(a.read for a in trace)
+            writes = [a for a in trace if a.wrote]
+            if writes and (reads or len(writes) >= 2):
+                return index
+    return None
+
+
+def build_report(
+    loop: Loop, result, events: Sequence[Event], reproduce: bool = True
+) -> ForensicReport:
+    """Reconstruct the root cause of a failed run.
+
+    ``events`` is the run's recorded stream (protocol messages and
+    directory updates); ``result`` the failed ``RunResult``.  With
+    ``reproduce=True`` the minimized loop is executed once to validate
+    that it still aborts.
+    """
+    scenario = getattr(result.scenario, "value", str(result.scenario))
+    failure = result.failure
+    if failure is not None and failure.element is not None:
+        array, index = failure.element
+        reason = failure.reason
+        proc, iteration = failure.processor, failure.iteration
+    else:
+        reason = (
+            failure.reason
+            if failure is not None
+            else "software LRPD test failed after the loop"
+        )
+        proc = iteration = None
+        array = result.lrpd.failed_array if result.lrpd is not None else None
+        index = _sw_culprit(loop, array) if array is not None else None
+
+    report = ForensicReport(
+        loop_name=loop.name,
+        scenario=scenario,
+        reason=reason,
+        array=array,
+        index=index,
+        protocol=None,
+        detection_cycle=(
+            failure.detected_at if failure is not None else result.detection_cycle
+        ),
+        failing_processor=proc,
+        failing_iteration=iteration,
+    )
+    if array is None or index is None:
+        return report
+
+    try:
+        report.protocol = loop.array(array).protocol.value
+    except KeyError:
+        return report
+
+    report.accesses = element_trace(loop, array, index)
+    if result.assignment is not None:
+        proc_of = {
+            it: p
+            for p, its in enumerate(result.assignment)
+            for it in its
+        }
+        report.processors = {
+            a.iteration: proc_of[a.iteration]
+            for a in report.accesses
+            if a.iteration in proc_of
+        }
+    report.messages = [
+        e
+        for e in events
+        if type(e) is ProtocolMessageEvent and e.array == array and e.index == index
+    ]
+    report.dir_updates = [
+        e
+        for e in events
+        if type(e)
+        in (NonPrivDirUpdateEvent, PrivDirUpdateEvent, PrivSimpleDirUpdateEvent)
+        and e.array == array
+        and e.index == index
+    ]
+
+    sw = scenario == "sw"
+    report.minimized = minimize(loop, array, index, scenario="sw" if sw else "hw")
+    if report.minimized is not None:
+        report.dependence_iterations = report.minimized.iterations
+        trace = report.accesses
+        pair = _dependence_pair(trace, loop.array(array).protocol)
+        report.dependence_kind = pair[1] if pair is not None else None
+        if reproduce:
+            report.minimized_reproduces = report.minimized.reproduces()
+    return report

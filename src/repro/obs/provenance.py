@@ -79,7 +79,8 @@ def run_provenance(
 
     ``params`` is a :class:`~repro.params.MachineParams`; ``config`` an
     optional :class:`~repro.runtime.driver.RunConfig`.  Non-data config
-    fields (``machine_hook``, ``telemetry``) never enter the hash.
+    fields (``machine_hook``, ``telemetry``, ``monitors``) never enter
+    the hash.
     """
     from .. import __version__
 

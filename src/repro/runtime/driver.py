@@ -29,6 +29,7 @@ from ..obs.events import (
 from ..obs.provenance import RunProvenance, run_provenance
 from ..params import MachineParams
 from ..sim.machine import Machine
+from ..sim.processor import Mutex
 from ..sim.stats import TimeBreakdown
 from ..trace.loop import Loop
 from ..types import ProtocolKind, Scenario
@@ -48,7 +49,14 @@ from .phases import (
     sparse_copy_ops,
     zero_ops,
 )
-from .schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from .schedule import (
+    ChunkQueue,
+    SchedulePolicy,
+    ScheduleSpec,
+    VirtualMode,
+    cyclic_blocks,
+    static_assignment,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -78,11 +86,21 @@ class RunConfig:
     #: with an ``attach(machine)`` method, typically ``repro.obs.Telemetry``
     #: or a bare ``repro.obs.EventBus``.
     telemetry: Optional[object] = None
+    #: online invariant monitors armed for the run: anything with an
+    #: ``attach(machine)`` method, typically ``repro.obs.MonitorSuite``.
+    #: Monitors subscribe to the machine's event bus (sharing the
+    #: telemetry bus when one is attached) and, via ``finalize``, stamp
+    #: their violations — and on failures a forensic report — into the
+    #: RunResult.  ``None`` (the default) keeps the zero-overhead null
+    #: path: no bus, no event construction.
+    monitors: Optional[object] = None
 
 
 def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
     if config is not None and config.telemetry is not None:
         config.telemetry.attach(machine)
+    if config is not None and config.monitors is not None:
+        config.monitors.attach(machine)
     if config is not None and config.machine_hook is not None:
         config.machine_hook(machine)
 
@@ -111,6 +129,18 @@ class RunResult:
     provenance: Optional[RunProvenance] = None
     #: metrics-registry snapshot, when the run had telemetry attached
     metrics: Optional[dict] = None
+    #: realized iteration-to-processor assignment: ``assignment[p]`` is
+    #: the 1-based iterations processor ``p`` executed, in execution
+    #: order.  For dynamic self-scheduling this is the *emergent* grab
+    #: order from the simulation — the ground truth a value-level commit
+    #: must replay.  ``None`` for non-parallel scenarios.
+    assignment: Optional[List[List[int]]] = None
+    #: invariant violations collected by armed monitors
+    #: (``repro.obs.monitor.InvariantViolation``); None when no monitors
+    violations: Optional[list] = None
+    #: abort root-cause report (``repro.obs.forensics.ForensicReport``),
+    #: built when monitors were armed and the speculation failed
+    forensics: Optional[object] = None
 
     @property
     def speedup_base(self) -> float:
@@ -219,6 +249,30 @@ def _serial_params(params: MachineParams) -> MachineParams:
     return dataclasses.replace(params, num_processors=1, processors_per_node=1)
 
 
+def _make_queue(schedule: ScheduleSpec, loop: Loop):
+    """Work queue + mutex for dynamic self-scheduling, created here (not
+    inside ``loop_streams``) so the realized block-to-processor grab log
+    survives the run."""
+    if schedule.policy is not SchedulePolicy.DYNAMIC:
+        return None, None
+    queue = ChunkQueue(cyclic_blocks(loop.num_iterations, schedule.chunk_iterations))
+    return queue, Mutex()
+
+
+def _realized_assignment(
+    queue: Optional[ChunkQueue],
+    schedule: ScheduleSpec,
+    loop: Loop,
+    num_procs: int,
+) -> List[List[int]]:
+    """Per-processor 1-based iteration lists actually executed: the
+    emergent grab order for dynamic scheduling, the static plan
+    otherwise."""
+    if queue is not None:
+        return queue.assignment(num_procs)
+    return static_assignment(schedule, loop.num_iterations, num_procs)
+
+
 def _append_failure_tail(
     machine: Machine,
     loop: Loop,
@@ -263,6 +317,7 @@ def _finish_run(
     config: "Optional[RunConfig]",
     params: MachineParams,
     result: "RunResult",
+    loop: Optional[Loop] = None,
 ) -> "RunResult":
     """Stamp provenance/metrics into a result and close out telemetry."""
     result.provenance = run_provenance(
@@ -277,6 +332,9 @@ def _finish_run(
     bus = machine.bus
     if bus is not None:
         bus.emit(RunEndEvent(machine.engine.now, result.passed, result.wall))
+    monitors = config.monitors if config is not None else None
+    if monitors is not None and hasattr(monitors, "finalize"):
+        monitors.finalize(result, loop)
     return result
 
 
@@ -305,7 +363,7 @@ def run_serial(
         phases=phases,
         mem=machine.memsys.stats,
     )
-    return _finish_run(machine, config, params, result)
+    return _finish_run(machine, config, params, result, loop)
 
 
 # ----------------------------------------------------------------------
@@ -357,7 +415,7 @@ def run_ideal(
         phases=phases,
         mem=machine.memsys.stats,
     )
-    return _finish_run(machine, config, params, result)
+    return _finish_run(machine, config, params, result, loop)
 
 
 # ----------------------------------------------------------------------
@@ -420,16 +478,30 @@ def run_hw(
     iter_overhead = cost.loop_iter_overhead + (
         cost.hw_iter_tag_clear_cycles if has_priv else 0
     )
+    queue, mutex = (
+        _make_queue(config.schedule, loop)
+        if config.timestamp_bits is None
+        else (None, None)
+    )
     streams = loop_streams(
         loop, config.schedule, params.num_processors, cost,
         iter_overhead=iter_overhead,
         setup_cycles=cost.hw_loop_setup_cycles,
+        mutex=mutex,
+        queue=queue,
         timestamp_bits=config.timestamp_bits,
     )
     loop_start = machine.engine.now
     breakdown.add(
         _run_phase(machine, "loop", streams, phases, abort_on_failure=True)
     )
+    assignment = _realized_assignment(
+        queue, config.schedule, loop, params.num_processors
+    )
+
+    # Loop-end commit: dirty lines may hold tag state (writes, read-
+    # firsts) the directories never saw; merge it before the verdict.
+    machine.spec.commit(machine.engine.now)
 
     failure = machine.spec.controller.failure
     detection = None
@@ -454,8 +526,9 @@ def run_hw(
             detection_cycle=detection,
             spec_messages=machine.spec.stats.messages,
             mem=machine.memsys.stats,
+            assignment=assignment,
         )
-        return _finish_run(machine, config, params, result)
+        return _finish_run(machine, config, params, result, loop)
 
     # Phase 3: copy-out of privatized, live-out arrays (§2.2.3).
     copyout: Dict[int, Iterator[object]] = {}
@@ -486,8 +559,9 @@ def run_hw(
         phases=phases,
         spec_messages=machine.spec.stats.messages,
         mem=machine.memsys.stats,
+        assignment=assignment,
     )
-    return _finish_run(machine, config, params, result)
+    return _finish_run(machine, config, params, result, loop)
 
 
 def _hw_copy_out_indices(
@@ -588,12 +662,16 @@ def run_sw(
 
     # Phase 2: the speculative doall with marking.
     instrument = SWInstrumenter(state, loop, cost, processor_wise=processor_wise)
+    queue, mutex = _make_queue(config.schedule, loop)
     streams = loop_streams(
         loop, config.schedule, num, cost,
         instrument=instrument,
         iter_end_cycles=cost.sw_iter_end_instrs,
+        mutex=mutex,
+        queue=queue,
     )
     breakdown.add(_run_phase(machine, "loop", streams, phases))
+    assignment = _realized_assignment(queue, config.schedule, loop, num)
 
     # Phase 3: merging + analysis.
     merge: Dict[int, Iterator[object]] = {}
@@ -636,8 +714,9 @@ def run_sw(
             detection_cycle=None,  # only known after the loop completes
             lrpd=outcome,
             mem=machine.memsys.stats,
+            assignment=assignment,
         )
-        return _finish_run(machine, config, params, result)
+        return _finish_run(machine, config, params, result, loop)
 
     # Phase 4: copy-out of privatized live-out arrays.
     copyout: Dict[int, Iterator[object]] = {}
@@ -668,8 +747,9 @@ def run_sw(
         phases=phases,
         lrpd=outcome,
         mem=machine.memsys.stats,
+        assignment=assignment,
     )
-    return _finish_run(machine, config, params, result)
+    return _finish_run(machine, config, params, result, loop)
 
 
 class LoopRunner:

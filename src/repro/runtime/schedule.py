@@ -131,6 +131,15 @@ class ChunkQueue:
     def remaining(self) -> int:
         return len(self._blocks) - self._next
 
+    def assignment(self, num_procs: int) -> List[List[int]]:
+        """The realized per-processor iteration lists (1-based, in grab
+        order) — the ground truth any value-level commit must replay."""
+        by_ordinal = {b.ordinal: b for b in self._blocks}
+        per_proc: List[List[int]] = [[] for _ in range(num_procs)]
+        for ordinal, proc in self.grab_log:
+            per_proc[proc].extend(by_ordinal[ordinal].iterations())
+        return per_proc
+
 
 def virtual_of(block: Block, iteration: int, mode: VirtualMode, proc: int) -> int:
     """The virtual iteration number the dependence test sees."""
@@ -156,3 +165,13 @@ def plan_static(
             per_proc[i % num_procs].append(block)
         return per_proc
     raise SchedulingError(f"{spec.policy} is not a static policy")
+
+
+def static_assignment(
+    spec: ScheduleSpec, num_iterations: int, num_procs: int
+) -> List[List[int]]:
+    """Per-processor iteration lists (1-based) for the static policies."""
+    return [
+        [it for block in blocks for it in block.iterations()]
+        for blocks in plan_static(spec, num_iterations, num_procs)
+    ]

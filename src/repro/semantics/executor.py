@@ -115,7 +115,12 @@ class ConcreteOutcome:
 def _assignment(
     schedule: ScheduleSpec, iterations: int, num_procs: int
 ) -> List[List[int]]:
-    """Iterations (0-based) per processor, each list ascending."""
+    """Iterations (0-based) per processor, each list ascending.
+
+    Fallback for callers without a simulated run: assumes the static
+    plan (and deals dynamic blocks round-robin, which is only a guess —
+    the simulation's realized assignment, when available, is the truth).
+    """
     if schedule.policy is SchedulePolicy.DYNAMIC:
         blocks = cyclic_blocks(iterations, schedule.chunk_iterations)
         per_proc: List[List[int]] = [[] for _ in range(num_procs)]
@@ -134,6 +139,7 @@ def _execute_parallel(
     traced: Loop,
     schedule: ScheduleSpec,
     num_procs: int,
+    assignment: Optional[List[List[int]]] = None,
 ) -> None:
     """Commit the speculative execution's values to ``loop.arrays``.
 
@@ -143,11 +149,21 @@ def _execute_parallel(
     writing iteration (copy-out).  Non-privatized arrays are written in
     place — legal because the passed test guarantees each element is
     read-only or touched by a single processor.
+
+    ``assignment`` is the realized 1-based per-processor iteration
+    mapping from the simulation (``RunResult.assignment``).  The test
+    verdict is only valid for the schedule the hardware actually
+    observed, so the commit must replay exactly that mapping — with
+    dynamic self-scheduling a guessed mapping can split an element's
+    iterations across processors that the real schedule kept together.
     """
     privatized = {
         spec.name for spec in traced.arrays if spec.privatized
     }
-    assignment = _assignment(schedule, loop.iterations, num_procs)
+    if assignment is not None:
+        assignment = [[it - 1 for it in its] for its in assignment]
+    else:
+        assignment = _assignment(schedule, loop.iterations, num_procs)
     last_write: Dict[Tuple[str, int], Tuple[int, object]] = {}
     for proc, iterations in enumerate(assignment):
         if not iterations:
@@ -194,7 +210,10 @@ def speculative_run(
         traced = loop.trace()
         simulation = run_hw(traced, params, config)
         if simulation.passed:
-            _execute_parallel(loop, traced, config.schedule, params.num_processors)
+            _execute_parallel(
+                loop, traced, config.schedule, params.num_processors,
+                assignment=simulation.assignment,
+            )
             return ConcreteOutcome(
                 passed=True,
                 arrays=loop.arrays,

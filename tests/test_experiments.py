@@ -185,6 +185,30 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_cli_doctor_smoke(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["doctor", "--doctor-processors", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "doctor: OK" in out
+        assert "forensic report" in out  # at least one abort was explained
+
+    def test_cli_bench_smoke(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "BENCH_PR3.json"
+        assert main(["bench", "--bench-out", str(out_path),
+                     "--bench-reps", "1"]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["benchmark"] == "simulator-throughput"
+        assert doc["bare"]["iters_per_s"] > 0
+        assert "overhead_pct" in doc["telemetry"]
+        assert "overhead_pct" in doc["monitors"]
+        assert doc["provenance"]["config_hash"]
+        assert "wrote" in capsys.readouterr().out
+
 
 class TestCharts:
     def test_chart_fig11(self, fig11_rows):

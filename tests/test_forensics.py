@@ -1,0 +1,142 @@
+"""Tests for abort root-cause forensics and minimized reproducers."""
+
+import json
+
+import pytest
+
+from repro.obs import MonitorSuite
+from repro.obs.forensics import element_trace, minimize
+from repro.params import MachineParams, small_test_params
+from repro.runtime.driver import RunConfig, run_hw
+from repro.runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.trace.loop import ArraySpec, Loop
+from repro.trace.ops import compute, read, write
+from repro.types import ProtocolKind
+from repro.workloads.faults import free_element, inject_each_kind
+from repro.workloads.synthetic import parallel_nonpriv_loop, privatizable_loop
+
+PARAMS = small_test_params(4)
+# Static contiguous chunks (16 iterations / 4 procs = 4 per proc):
+# iterations 4 and 11 deterministically land on different processors,
+# so the injected dependences below are always detected.
+SPLIT = ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
+
+
+def monitored_run(loop):
+    return run_hw(loop, PARAMS, RunConfig(schedule=SPLIT, monitors=MonitorSuite()))
+
+
+class TestElementTrace:
+    def test_trace_and_first_access_kinds(self):
+        loop = Loop(
+            "trace",
+            [ArraySpec("A", 4, 8, ProtocolKind.NONPRIV)],
+            [
+                [write("A", 1), read("A", 1)],
+                [compute(10)],
+                [read("A", 1), write("A", 1)],
+            ],
+        )
+        trace = element_trace(loop, "A", 1)
+        assert [a.iteration for a in trace] == [1, 3]
+        assert [a.read_first for a in trace] == [False, True]
+        assert [a.tag for a in trace] == ["W+R", "R1st+W"]
+
+
+class TestInjectedAborts:
+    """Every abort path in workloads/faults.py must yield a report
+    whose minimized reproducer still aborts."""
+
+    @pytest.mark.parametrize("kind_index,kind", enumerate(("flow", "anti", "output")))
+    def test_nonpriv_kinds(self, kind_index, kind):
+        base = parallel_nonpriv_loop("fx-np", elements=512, iterations=16)
+        element = free_element(base, "A")
+        loop = inject_each_kind(base, "A", 4, 11, element)[kind_index]
+        result = monitored_run(loop)
+        assert not result.passed
+        report = result.forensics
+        assert report is not None
+        assert report.element == ("A", element)
+        assert report.protocol == "nonpriv"
+        assert report.failing_processor is not None
+        assert set(report.dependence_iterations) == {4, 11}
+        assert report.dependence_kind == kind
+        assert report.processors  # iterations mapped to processors
+        assert report.minimized_reproduces is True
+
+    @pytest.mark.parametrize(
+        "simple,kind_index,kind",
+        [(False, 0, "flow"), (True, 0, "flow"), (True, 1, "anti")],
+        ids=["priv-flow", "priv-simple-flow", "priv-simple-anti"],
+    )
+    def test_priv_kinds(self, simple, kind_index, kind):
+        base = privatizable_loop("fx-p", elements=64, iterations=16, simple=simple)
+        array = base.arrays_under_test()[0].name
+        element = free_element(base, array)
+        loop = inject_each_kind(base, array, 4, 11, element)[kind_index]
+        result = monitored_run(loop)
+        assert not result.passed
+        report = result.forensics
+        assert report is not None
+        assert report.element == (array, element)
+        assert report.dependence_kind == kind
+        assert report.minimized_reproduces is True
+
+    def test_report_names_iterations_and_processors(self):
+        base = parallel_nonpriv_loop("fx-named", elements=512, iterations=16)
+        element = free_element(base, "A")
+        loop = inject_each_kind(base, "A", 4, 11, element)[0]
+        report = monitored_run(loop).forensics
+        text = report.to_text()
+        assert f"A[{element}]" in text
+        assert "iteration 4" in text and "flow" in text
+        procs = {report.processors[i] for i in (4, 11)}
+        assert len(procs) == 2  # the pair really spanned processors
+
+
+class TestMinimize:
+    def test_minimized_loop_is_two_iterations(self):
+        base = parallel_nonpriv_loop("fx-min", elements=512, iterations=16)
+        element = free_element(base, "A")
+        loop = inject_each_kind(base, "A", 4, 11, element)[0]
+        mini = minimize(loop, "A", element)
+        assert mini is not None
+        assert mini.iterations == (4, 11)
+        assert mini.loop.num_iterations == 2
+        assert mini.reproduces()
+
+    def test_untouched_element_has_no_reproducer(self):
+        base = parallel_nonpriv_loop("fx-clean", elements=512, iterations=16)
+        element = free_element(base, "A")
+        assert minimize(base, "A", element) is None
+
+    def test_unknown_array_is_handled(self):
+        base = parallel_nonpriv_loop("fx-unknown", elements=512, iterations=16)
+        assert minimize(base, "nope", 0) is None
+
+
+class TestSerialization:
+    def test_report_round_trips_to_json(self):
+        base = parallel_nonpriv_loop("fx-json", elements=512, iterations=16)
+        element = free_element(base, "A")
+        loop = inject_each_kind(base, "A", 4, 11, element)[0]
+        result = monitored_run(loop)
+        doc = result.forensics.to_dict()
+        encoded = json.loads(json.dumps(doc))
+        assert encoded["element"] == ["A", element]
+        assert encoded["dependence"]["kind"] == "flow"
+        assert encoded["minimized"]["iterations"] == [4, 11]
+        assert encoded["minimized_reproduces"] is True
+
+    def test_run_result_to_dict_carries_forensics(self):
+        from repro.experiments.serialize import run_result_to_dict
+
+        base = parallel_nonpriv_loop("fx-res", elements=512, iterations=16)
+        element = free_element(base, "A")
+        loop = inject_each_kind(base, "A", 4, 11, element)[0]
+        result = monitored_run(loop)
+        doc = run_result_to_dict(result)
+        json.dumps(doc)  # JSON-safe end to end
+        assert doc["violations"] == []
+        assert doc["forensics"]["element"] == ["A", element]
+        assert doc["assignment"] and isinstance(doc["assignment"][0], list)

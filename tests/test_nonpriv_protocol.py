@@ -171,6 +171,39 @@ class TestRaceTransactions:
         m.engine.drain()
         assert m.spec.controller.failed
 
+    def test_dirty_write_racing_remote_first_update_fails_at_commit(self):
+        """A write that stays tag-local on a dirty line while the
+        remote reader's First_update is in flight escapes every
+        directory check; the loop-end commit must catch it.
+
+        Found by test_nonpriv_sound_under_races: P0 read-first of e1 on
+        a clean cached line (First_update in flight), P1 takes the line
+        DIRTY by writing e0 (dir still shows e1 untouched, so P1's tags
+        inherit First=NONE), then P1's write of e1 is an L1 hit on the
+        dirty line — local tag update only, no message.  The update
+        then lands on a directory with priv unset: no FAIL anywhere.
+        """
+        m, a = make()
+        run(m, [(0, 0, "r", 2)])  # P0 caches the line clean
+        m.memsys.read(0, a.addr_of(1), 40.0)  # hit: First_update in flight
+        m.memsys.write(1, a.addr_of(0), 80.0)  # P1 takes the line dirty
+        m.memsys.write(1, a.addr_of(1), 120.0)  # dirty hit: tag-local
+        m.engine.drain()
+        assert not m.spec.controller.failed  # the hole: nothing fired
+        m.spec.commit(m.engine.now)
+        assert m.spec.controller.failed  # commit reveals the write
+        failure = m.spec.controller.failure
+        assert failure.element == ("A", 1)
+
+    def test_commit_is_benign_on_clean_runs(self):
+        m, a = make()
+        run(m, [(0, 0, "r", 1), (10, 1, "r", 1), (20, 0, "w", 40)])
+        m.spec.commit(m.engine.now)
+        assert not m.spec.controller.failed
+        # Idempotent: a second sweep changes nothing.
+        m.spec.commit(m.engine.now)
+        assert not m.spec.controller.failed
+
 
 class TestArmDisarm:
     def test_not_armed_is_transparent(self):

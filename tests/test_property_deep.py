@@ -12,7 +12,7 @@ processors; these push further:
 from __future__ import annotations
 
 import numpy as np
-from hypothesis import given, settings, strategies as st
+from hypothesis import example, given, settings, strategies as st
 
 from repro.lrpd.analysis import analyze
 from repro.lrpd.shadow import LRPDState
@@ -118,6 +118,11 @@ def test_simulated_sw_agrees_with_direct_marking(trace, privatized):
         min_size=1, max_size=6,
     )
 )
+# Regression: under dynamic self-scheduling one processor grabbed both
+# writing iterations (so the hardware test passed), but the value-level
+# commit replayed a guessed round-robin assignment that split them —
+# fixed by replaying RunResult.assignment, the realized grab order.
+@example(trace=[[(True, False, 0)], [(False, True, 0)], [(False, True, 0)]])
 def test_two_array_values_match_serial(trace):
     """Value-level contract with two arrays (one possibly privatized)."""
 

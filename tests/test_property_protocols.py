@@ -95,6 +95,7 @@ def execute_hw(
             if drain_each:
                 m.engine.drain()
     m.engine.drain()
+    m.spec.commit(m.engine.now)  # loop-end merge of dirty tag state
     return not m.spec.controller.failed
 
 
