@@ -11,6 +11,7 @@ owning processor's local node.
 
 from __future__ import annotations
 
+import bisect
 import dataclasses
 from typing import Dict, Iterator, List, Optional
 
@@ -82,6 +83,10 @@ class AddressSpace:
         self._next_base = page_bytes  # keep address 0 unused
         self._arrays: Dict[str, ArrayDecl] = {}
         self._sorted: List[ArrayDecl] = []
+        self._bases: List[int] = []
+        # page number -> home node; pages are immutable once allocated,
+        # so entries never go stale.
+        self._home_cache: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Allocation
@@ -122,6 +127,7 @@ class AddressSpace:
         self._next_base += pages * self.page_bytes
         self._arrays[name] = decl
         self._sorted.append(decl)
+        self._bases.append(decl.base)
         return decl
 
     # ------------------------------------------------------------------
@@ -132,6 +138,10 @@ class AddressSpace:
             return self._arrays[name]
         except KeyError:
             raise AddressError(f"no array named {name!r}") from None
+
+    def decls(self) -> Iterator[ArrayDecl]:
+        """All allocated arrays, in allocation order."""
+        return iter(self._sorted)
 
     def arrays(self) -> List[ArrayDecl]:
         return list(self._sorted)
@@ -146,10 +156,11 @@ class AddressSpace:
         comparator of §4.1 (see :mod:`repro.core.translation` for the
         modeled hardware structure).
         """
-        for decl in self._sorted:
-            if decl.contains(addr):
-                return decl
-        return None
+        pos = bisect.bisect_right(self._bases, addr) - 1
+        if pos < 0:
+            return None
+        decl = self._sorted[pos]
+        return decl if addr < decl.end else None
 
     # ------------------------------------------------------------------
     # NUMA geometry
@@ -168,7 +179,14 @@ class AddressSpace:
         ``local`` arrays.  Addresses outside any array (none should
         occur in practice) fall back to round-robin.
         """
+        page = addr // self.page_bytes
+        node = self._home_cache.get(page)
+        if node is not None:
+            return node
         decl = self.find(addr)
         if decl is not None and decl.home_policy == "local":
-            return decl.local_node
-        return self.page_of(addr) % self.num_nodes
+            node = decl.local_node
+        else:
+            node = page % self.num_nodes
+        self._home_cache[page] = node
+        return node

@@ -90,6 +90,8 @@ class ProtocolContext:
     ) -> None:
         log = self.message_log
         bus = self.bus
+        if bus is not None and not bus.active:
+            bus = None
         if log is None and bus is None:
             return
         event = ProtocolMessageEvent(time, label, proc, array, index, iteration)

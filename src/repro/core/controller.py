@@ -61,7 +61,7 @@ class SpeculationController:
         self.history.append(failure)
         if self.failure is None:
             self.failure = failure
-        if self.bus is not None:
+        if self.bus is not None and self.bus.active:
             from ..obs.events import FailureEvent
 
             self.bus.emit(

@@ -25,8 +25,13 @@ from ..types import AccessKind, ProtocolKind
 from .context import ProtocolContext, SpecStats
 from .controller import SpeculationController
 from .messages import ImmediateScheduler, Scheduler
-from .nonpriv import NonPrivProtocol
-from .privatization import PrivProtocol, PrivSimpleProtocol
+from .nonpriv import BatchNonPrivProtocol, NonPrivProtocol
+from .privatization import (
+    BatchPrivProtocol,
+    BatchPrivSimpleProtocol,
+    PrivProtocol,
+    PrivSimpleProtocol,
+)
 from .translation import RangeEntry, TranslationTable
 
 try:  # only needed for isinstance checks in hooks
@@ -34,6 +39,10 @@ try:  # only needed for isinstance checks in hooks
 except ImportError:  # pragma: no cover - circular import guard
     MemorySystem = None  # type: ignore
     SpeculationHooks = object  # type: ignore
+
+
+#: Sentinel distinguishing "memo has no entry" from a memoized None.
+_UNSET = object()
 
 
 class SpeculationEngine(SpeculationHooks):
@@ -45,16 +54,24 @@ class SpeculationEngine(SpeculationHooks):
         space: AddressSpace,
         scheduler: Optional[Scheduler] = None,
         controller: Optional[SpeculationController] = None,
+        batch: bool = False,
     ) -> None:
         self.params = params
         self.space = space
+        self.batch = batch
         self.controller = controller or SpeculationController()
         self.scheduler = scheduler or ImmediateScheduler()
         self.ctx = ProtocolContext(self.controller, self.scheduler, params, space)
         self.table = TranslationTable()
-        self.nonpriv = NonPrivProtocol(self.ctx)
-        self.priv = PrivProtocol(self.ctx)
-        self.priv_simple = PrivSimpleProtocol(self.ctx)
+        self._line_bytes = params.line_bytes
+        if batch:
+            self.nonpriv: NonPrivProtocol = BatchNonPrivProtocol(self.ctx)
+            self.priv: PrivProtocol = BatchPrivProtocol(self.ctx)
+            self.priv_simple: PrivSimpleProtocol = BatchPrivSimpleProtocol(self.ctx)
+        else:
+            self.nonpriv = NonPrivProtocol(self.ctx)
+            self.priv = PrivProtocol(self.ctx)
+            self.priv_simple = PrivSimpleProtocol(self.ctx)
         self._iteration: List[int] = [1] * params.num_processors
         self._protocol_of: Dict[str, ProtocolKind] = {}
         self._shared_decl: Dict[str, ArrayDecl] = {}
@@ -160,7 +177,7 @@ class SpeculationEngine(SpeculationHooks):
 
     def _emit_arm(self, armed: bool) -> None:
         bus = self.ctx.bus
-        if bus is not None:
+        if bus is not None and bus.active:
             from ..obs.events import SpeculationArmEvent
 
             bus.emit(SpeculationArmEvent(self.ctx.now(), armed))
@@ -212,10 +229,33 @@ class SpeculationEngine(SpeculationHooks):
             return self._priv_copies[name][proc].addr_of(index)
         return self._shared_decl[name].addr_of(index)
 
+    def static_address_map(self) -> Dict[str, tuple]:
+        """``name -> (base, elem_bytes, length)`` for every array whose
+        address resolution never depends on speculation state.
+
+        The privatization protocols redirect accesses (to per-processor
+        copies, tracking written elements), so their arrays are
+        excluded; everything else resolves to ``base + index *
+        elem_bytes`` whether or not speculation is armed.  The batch
+        engine's processor loop uses this to collapse the per-access
+        :meth:`resolve` call into one dict probe (it falls back to
+        resolve/addr_of for excluded names and out-of-range indexes, so
+        error behavior is unchanged).
+        """
+        out: Dict[str, tuple] = {}
+        for decl in self.space.decls():
+            kind = self._protocol_of.get(decl.name)
+            if kind is None or kind is ProtocolKind.NONPRIV:
+                out[decl.name] = (decl.base, decl.elem_bytes, decl.length)
+        return out
+
     def _shared_or_plain(self, name: str, index: int) -> int:
         decl = self._shared_decl.get(name)
         if decl is None:
+            # Cache plain arrays alongside the registered ones: decls
+            # are immutable and resolve() is on the per-access hot path.
             decl = self.space.array(name)
+            self._shared_decl[name] = decl
         return decl.addr_of(index)
 
     # ------------------------------------------------------------------
@@ -237,34 +277,51 @@ class SpeculationEngine(SpeculationHooks):
     def on_cache_hit(self, proc, line, addr, kind, now):
         if not self.controller.armed:
             return
-        found = self.table.lookup(addr)
+        # Inline probe of the translation memo (repeated below in the
+        # other hooks): these four dispatchers sit on the per-access hot
+        # path, so the common warm-cache case must stay a dict get.
+        found = self.table._lookup_cache.get(addr, _UNSET)
+        if found is _UNSET:
+            found = self.table.lookup(addr)
         if found is None:
             return
         entry, index = found
-        offset = addr - line.line_addr
         if entry.protocol is ProtocolKind.NONPRIV:
-            if self._line_mode(entry):
+            if self._line_bits_arrays and self._line_mode(entry):
                 index = self._meta_index(entry, index)
-                offset = 0  # one bits object per line
-            self.nonpriv.on_cache_hit(proc, line, entry, index, offset, kind, now)
+                # The per-line-bit ablation always uses the scalar
+                # per-word object path (one bits object per line at
+                # offset 0), even under the batch engine.
+                NonPrivProtocol.on_cache_hit(
+                    self.nonpriv, proc, line, entry, index, 0, kind, now
+                )
+                return
+            self.nonpriv.on_cache_hit(
+                proc, line, entry, index, addr - line.line_addr, kind, now
+            )
         elif entry.protocol is ProtocolKind.PRIV:
             self.priv.on_cache_hit(
-                proc, line, entry, index, offset, kind, self._iteration[proc], now
+                proc, line, entry, index, addr - line.line_addr, kind,
+                self._iteration[proc], now,
             )
         else:
             self.priv_simple.on_cache_hit(
-                proc, line, entry, index, offset, kind, self._iteration[proc], now
+                proc, line, entry, index, addr - line.line_addr, kind,
+                self._iteration[proc], now,
             )
 
     def on_dir_access(self, proc, line_addr, addr, kind, now):
         if not self.controller.armed:
             return 0
-        found = self.table.lookup(addr)
+        found = self.table._lookup_cache.get(addr, _UNSET)
+        if found is _UNSET:
+            found = self.table.lookup(addr)
         if found is None:
             return 0
         entry, index = found
         if entry.protocol is ProtocolKind.NONPRIV:
-            index = self._meta_index(entry, index)
+            if self._line_bits_arrays and self._line_mode(entry):
+                index = self._meta_index(entry, index)
             return self.nonpriv.on_dir_access(proc, entry, index, kind, now)
         line_first, line_count = self._line_span(entry, line_addr)
         if entry.protocol is ProtocolKind.PRIV:
@@ -280,31 +337,33 @@ class SpeculationEngine(SpeculationHooks):
     def fill_line_bits(self, proc, line, now):
         if not self.controller.armed:
             return
-        found = self.table.lookup_line(line.line_addr, self.params.line_bytes)
+        found = self.table._line_cache.get(line.line_addr, _UNSET)
+        if found is _UNSET:
+            found = self.table.lookup_line(line.line_addr, self._line_bytes)
         if found is None:
             return
         entry, first, count = found
-        decl = entry.decl
-        iteration = self._iteration[proc]
-        if entry.protocol is ProtocolKind.NONPRIV and self._line_mode(entry):
-            meta = self._meta_index(entry, first)
-            line.set_bits(0, self.nonpriv.tag_fill(proc, entry, meta))
-            return
-        for i in range(count):
-            index = first + i
-            offset = decl.addr_of(index) - line.line_addr
-            if entry.protocol is ProtocolKind.NONPRIV:
-                bits = self.nonpriv.tag_fill(proc, entry, index)
-            elif entry.protocol is ProtocolKind.PRIV:
-                bits = self.priv.tag_fill(proc, entry, index, iteration)
-            else:
-                bits = self.priv_simple.tag_fill(proc, entry, index, iteration)
-            line.set_bits(offset, bits)
+        if entry.protocol is ProtocolKind.NONPRIV:
+            if self._line_bits_arrays and self._line_mode(entry):
+                meta = self._meta_index(entry, first)
+                line.set_bits(0, self.nonpriv.tag_fill(proc, entry, meta))
+                return
+            self.nonpriv.fill_line(proc, line, entry, first, count)
+        elif entry.protocol is ProtocolKind.PRIV:
+            self.priv.fill_line(
+                proc, line, entry, first, count, self._iteration[proc]
+            )
+        else:
+            self.priv_simple.fill_line(
+                proc, line, entry, first, count, self._iteration[proc]
+            )
 
     def on_writeback(self, proc, line, now):
         if not self.controller.armed:
             return
-        found = self.table.lookup_line(line.line_addr, self.params.line_bytes)
+        found = self.table._line_cache.get(line.line_addr, _UNSET)
+        if found is _UNSET:
+            found = self.table.lookup_line(line.line_addr, self._line_bytes)
         if found is None:
             return
         entry, first, count = found
@@ -312,17 +371,13 @@ class SpeculationEngine(SpeculationHooks):
             # Privatization state is authoritative in the directories;
             # tag bits are a per-iteration summary and need no merge.
             return
-        decl = entry.decl
         if self._line_mode(entry):
             bits = line.get_bits(0)
             if bits is not None:
                 meta = self._meta_index(entry, first)
                 self.nonpriv.merge_writeback(proc, entry, meta, bits, now)
             return
-        for offset, bits in list(line.spec_bits.items()):
-            index = (line.line_addr + offset - decl.base) // decl.elem_bytes
-            if first <= index < first + count:
-                self.nonpriv.merge_writeback(proc, entry, index, bits, now)
+        self.nonpriv.merge_line(proc, line, entry, first, count, now)
 
     def commit(self, now: float) -> None:
         """Loop-end commit: merge the access-bit state of every dirty

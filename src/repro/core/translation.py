@@ -41,11 +41,20 @@ class RangeEntry:
 
 
 class TranslationTable:
-    """Sorted address-range comparator for the arrays under test."""
+    """Sorted address-range comparator for the arrays under test.
+
+    Lookups are memoized per address: the entry set only changes through
+    :meth:`load`/:meth:`unload_all` (which invalidate the memo), and the
+    number of distinct addresses is bounded by the arrays' footprints, so
+    the cache replaces the bisect/branch work of the hot path with one
+    dict probe after warm-up.
+    """
 
     def __init__(self) -> None:
         self._entries: List[RangeEntry] = []
         self._bases: List[int] = []
+        self._lookup_cache: dict = {}
+        self._line_cache: dict = {}
 
     def load(self, entry: RangeEntry) -> None:
         """Register an array under test (the §4.1 'load the comparator'
@@ -61,11 +70,15 @@ class TranslationTable:
             )
         self._entries.insert(pos, entry)
         self._bases.insert(pos, entry.base)
+        self._lookup_cache.clear()
+        self._line_cache.clear()
 
     def unload_all(self) -> None:
         """The §4.1 'unload the comparator' system call."""
         self._entries.clear()
         self._bases.clear()
+        self._lookup_cache.clear()
+        self._line_cache.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -76,13 +89,19 @@ class TranslationTable:
     # ------------------------------------------------------------------
     def lookup(self, addr: int) -> Optional[Tuple[RangeEntry, int]]:
         """Map an address to its (entry, element index), or None."""
+        cache = self._lookup_cache
+        try:
+            return cache[addr]
+        except KeyError:
+            pass
         pos = bisect.bisect_right(self._bases, addr) - 1
-        if pos < 0:
+        if pos < 0 or addr >= self._entries[pos].end:
+            cache[addr] = None
             return None
         entry = self._entries[pos]
-        if addr >= entry.end:
-            return None
-        return entry, (addr - entry.base) // entry.decl.elem_bytes
+        found = (entry, (addr - entry.base) // entry.decl.elem_bytes)
+        cache[addr] = found
+        return found
 
     def lookup_line(
         self, line_addr: int, line_bytes: int
@@ -98,6 +117,18 @@ class TranslationTable:
         # power-of-two sized and arrays are page aligned, so elements
         # never straddle lines and the first element of the line starts
         # at or after line_addr.
+        cache = self._line_cache
+        try:
+            return cache[line_addr]
+        except KeyError:
+            pass
+        result = self._lookup_line_slow(line_addr, line_bytes)
+        cache[line_addr] = result
+        return result
+
+    def _lookup_line_slow(
+        self, line_addr: int, line_bytes: int
+    ) -> Optional[Tuple[RangeEntry, int, int]]:
         found = self.lookup(line_addr)
         if found is None:
             # The line may begin in the padding before an array that

@@ -1,31 +1,41 @@
 """The ``bench`` subcommand: simulator-throughput regression harness.
 
 Measures host wall-clock time of one representative speculative run
-under three instrumentation levels — bare (no bus attached), telemetry
-(full event recording) and monitors (invariant monitors + forensics
-recorder) — interleaving the repetitions so host-load drift hits all
-three equally, and writes a machine-readable ``BENCH_PR3.json``::
+across the full engine x instrumentation matrix — both execution
+engines (``scalar``, the reference, and ``batch``, the fast path) under
+three instrumentation levels: bare (no bus attached), telemetry (full
+event recording) and monitors (invariant monitors + forensics
+recorder).  Repetitions are interleaved so host-load drift hits every
+cell equally, and the result is a machine-readable JSON document::
 
     {
       "benchmark": "simulator-throughput",
       "workload": {...},
       "reps": 7,
-      "bare":      {"best_s": ..., "iters_per_s": ...},
-      "telemetry": {"best_s": ..., "overhead_pct": ...},
-      "monitors":  {"best_s": ..., "overhead_pct": ...},
+      "engines": {
+        "scalar": {"bare": {"best_s": ..., "iters_per_s": ...},
+                   "telemetry": {"best_s": ..., "overhead_pct": ...},
+                   "monitors":  {"best_s": ..., "overhead_pct": ...}},
+        "batch":  {...}
+      },
+      "bare": {...}, "telemetry": {...}, "monitors": {...},   # scalar
       "provenance": {"config_hash": ..., "code_version": ...}
     }
 
-Intended for CI trend tracking (upload the JSON as an artifact and
-diff across commits); the hard <3% telemetry-off gate lives in
+The top-level ``bare``/``telemetry``/``monitors`` keys mirror the
+scalar engine for continuity with the PR3-era document shape.  The CI
+perf job runs this, diffs ``iters_per_s`` per cell against the
+committed baseline (``BENCH_PR4.json``) and warns — non-gating — on a
+>15% drop; the hard <3% telemetry-off gate lives in
 ``benchmarks/bench_simulator_throughput.py`` and is unaffected.
 """
 
 from __future__ import annotations
 
+import gc
 import json
 import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from ..obs import MonitorSuite, Telemetry
 from ..params import small_test_params
@@ -35,6 +45,7 @@ from ..workloads.synthetic import parallel_nonpriv_loop
 BENCH_ITERATIONS = 48
 BENCH_ELEMENTS = 1024
 BENCH_PROCESSORS = 4
+ENGINES = ("scalar", "batch")
 
 
 def _measure(fn: Callable[[], object]) -> float:
@@ -43,35 +54,65 @@ def _measure(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
-def run_bench(out: str = "BENCH_PR3.json", reps: int = 7) -> str:
+def run_bench(out: str = "BENCH_PR4.json", reps: int = 7) -> str:
     loop = parallel_nonpriv_loop(
         "bench-throughput", elements=BENCH_ELEMENTS, iterations=BENCH_ITERATIONS
     )
     params = small_test_params(BENCH_PROCESSORS)
 
-    def bare() -> None:
-        run_hw(loop, params, RunConfig())
+    def bare(engine: str) -> None:
+        run_hw(loop, params, RunConfig(engine=engine))
 
-    def with_telemetry() -> None:
-        run_hw(loop, params, RunConfig(telemetry=Telemetry()))
+    def with_telemetry(engine: str) -> None:
+        run_hw(loop, params, RunConfig(engine=engine, telemetry=Telemetry()))
 
-    def with_monitors() -> None:
-        result = run_hw(loop, params, RunConfig(monitors=MonitorSuite()))
+    def with_monitors(engine: str) -> None:
+        result = run_hw(
+            loop, params, RunConfig(engine=engine, monitors=MonitorSuite())
+        )
         assert result.violations == []
 
-    variants: Dict[str, Callable[[], None]] = {
+    levels: Dict[str, Callable[[str], None]] = {
         "bare": bare,
         "telemetry": with_telemetry,
         "monitors": with_monitors,
     }
-    times: Dict[str, List[float]] = {name: [] for name in variants}
-    for name, fn in variants.items():  # warmup round, not measured
-        fn()
-    for _ in range(reps):
-        for name, fn in variants.items():
-            times[name].append(_measure(fn))
+    cells: List[Tuple[str, str]] = [
+        (engine, level) for engine in ENGINES for level in levels
+    ]
+    times: Dict[Tuple[str, str], List[float]] = {cell: [] for cell in cells}
+    for engine, level in cells:  # warmup round, not measured
+        levels[level](engine)
+    # Collector pauses land randomly inside the short timed runs and
+    # dominate rep-to-rep variance; pause collection while measuring
+    # (the simulator allocates heavily but builds no cycles).
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(reps):
+            for engine, level in cells:
+                times[(engine, level)].append(_measure(lambda: levels[level](engine)))
+    finally:
+        if was_enabled:
+            gc.enable()
 
-    best = {name: min(ts) for name, ts in times.items()}
+    best = {cell: min(ts) for cell, ts in times.items()}
+
+    def _cell_doc(engine: str, level: str) -> Dict[str, float]:
+        cell = {"best_s": best[(engine, level)]}
+        if level == "bare":
+            cell["iters_per_s"] = BENCH_ITERATIONS / best[(engine, level)]
+        else:
+            cell["overhead_pct"] = 100.0 * (
+                best[(engine, level)] / best[(engine, "bare")] - 1.0
+            )
+        return cell
+
+    engines_doc = {
+        engine: {level: _cell_doc(engine, level) for level in levels}
+        for engine in ENGINES
+    }
     provenance = run_hw(loop, params, RunConfig()).provenance
     doc = {
         "benchmark": "simulator-throughput",
@@ -82,32 +123,29 @@ def run_bench(out: str = "BENCH_PR3.json", reps: int = 7) -> str:
             "num_processors": BENCH_PROCESSORS,
         },
         "reps": reps,
-        "bare": {
-            "best_s": best["bare"],
-            "iters_per_s": BENCH_ITERATIONS / best["bare"],
-        },
-        "telemetry": {
-            "best_s": best["telemetry"],
-            "overhead_pct": 100.0 * (best["telemetry"] / best["bare"] - 1.0),
-        },
-        "monitors": {
-            "best_s": best["monitors"],
-            "overhead_pct": 100.0 * (best["monitors"] / best["bare"] - 1.0),
-        },
+        "engines": engines_doc,
+        # Scalar-engine mirror of the PR3-era top-level shape.
+        "bare": engines_doc["scalar"]["bare"],
+        "telemetry": engines_doc["scalar"]["telemetry"],
+        "monitors": engines_doc["scalar"]["monitors"],
         "provenance": provenance.as_dict() if provenance is not None else None,
     }
     with open(out, "w") as fh:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
 
+    speedup = best[("scalar", "bare")] / best[("batch", "bare")]
     lines = [
         f"bench: {loop.name} on {BENCH_PROCESSORS} procs, best of {reps}",
-        f"  bare:      {best['bare'] * 1e3:8.1f} ms "
-        f"({doc['bare']['iters_per_s']:,.0f} loop iterations/s)",
-        f"  telemetry: {best['telemetry'] * 1e3:8.1f} ms "
-        f"({doc['telemetry']['overhead_pct']:+.1f}%)",
-        f"  monitors:  {best['monitors'] * 1e3:8.1f} ms "
-        f"({doc['monitors']['overhead_pct']:+.1f}%)",
-        f"wrote {out}",
     ]
+    for engine in ENGINES:
+        e = engines_doc[engine]
+        lines.append(
+            f"  {engine:6s} bare: {e['bare']['best_s'] * 1e3:8.1f} ms "
+            f"({e['bare']['iters_per_s']:,.0f} loop iterations/s)  "
+            f"telemetry {e['telemetry']['overhead_pct']:+.1f}%  "
+            f"monitors {e['monitors']['overhead_pct']:+.1f}%"
+        )
+    lines.append(f"  batch/scalar bare speedup: {speedup:.2f}x")
+    lines.append(f"wrote {out}")
     return "\n".join(lines)

@@ -1,0 +1,113 @@
+"""Compare a fresh throughput-bench document against a committed baseline.
+
+Used by the CI perf job: run ``repro.experiments bench``, then::
+
+    python -m repro.experiments.benchdiff BENCH_PR4.json /tmp/bench_now.json
+
+Every (engine, level) cell's best time is compared; a slowdown past the
+threshold (default 15%) produces a warning line (``::warning::`` so
+GitHub surfaces it as an annotation).  Non-gating by default — the exit
+code is 0 even with regressions — because short benches on shared CI
+runners are noisy; pass ``--strict`` to turn regressions into failures.
+
+Both the flat PR3-era shape (top-level ``bare``/``telemetry``/
+``monitors``) and the PR4 matrix shape (``engines.<engine>.<level>``)
+are understood, so the very first run of the job can still diff against
+a PR3-era baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Dict, List, Optional, Tuple
+
+LEVELS = ("bare", "telemetry", "monitors")
+
+
+def _cells(doc: dict) -> Dict[Tuple[str, str], float]:
+    """``(engine, level) -> best_s`` for whichever document shape."""
+    out: Dict[Tuple[str, str], float] = {}
+    engines = doc.get("engines")
+    if isinstance(engines, dict):
+        for engine, levels in engines.items():
+            for level in LEVELS:
+                cell = levels.get(level)
+                if cell and "best_s" in cell:
+                    out[(engine, level)] = float(cell["best_s"])
+        return out
+    for level in LEVELS:  # flat PR3-era shape: scalar engine only
+        cell = doc.get(level)
+        if cell and "best_s" in cell:
+            out[("scalar", level)] = float(cell["best_s"])
+    return out
+
+
+def compare(
+    baseline: dict, current: dict, threshold_pct: float = 15.0
+) -> Tuple[List[str], List[str]]:
+    """Return (report_lines, regression_lines).
+
+    A regression is a common cell whose best time grew by more than
+    ``threshold_pct``.  Cells present on only one side are reported but
+    never count as regressions.
+    """
+    base_cells = _cells(baseline)
+    cur_cells = _cells(current)
+    report: List[str] = []
+    regressions: List[str] = []
+    for key in sorted(set(base_cells) | set(cur_cells)):
+        engine, level = key
+        name = f"{engine}/{level}"
+        base = base_cells.get(key)
+        cur = cur_cells.get(key)
+        if base is None or cur is None:
+            side = "current" if base is None else "baseline"
+            report.append(f"  {name}: only in {side} document")
+            continue
+        delta_pct = 100.0 * (cur / base - 1.0)
+        report.append(
+            f"  {name}: {base * 1e3:.1f} ms -> {cur * 1e3:.1f} ms "
+            f"({delta_pct:+.1f}%)"
+        )
+        if delta_pct > threshold_pct:
+            regressions.append(
+                f"{name} slowed {delta_pct:+.1f}% "
+                f"(threshold {threshold_pct:.0f}%)"
+            )
+    return report, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.benchdiff",
+        description="Diff a bench JSON against a committed baseline.",
+    )
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=15.0,
+        help="warn when a cell slows by more than this percentage",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 on regressions instead of only warning",
+    )
+    args = parser.parse_args(argv)
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+    report, regressions = compare(baseline, current, args.threshold)
+    print("bench diff (baseline -> current, best-of times):")
+    for line in report:
+        print(line)
+    for regression in regressions:
+        print(f"::warning::bench regression: {regression}")
+    if not regressions:
+        print(f"no cell slowed by more than {args.threshold:.0f}%")
+    return 1 if (args.strict and regressions) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

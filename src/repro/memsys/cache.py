@@ -29,12 +29,22 @@ class DirectMappedCache:
 
     def __init__(self, geometry: CacheGeometry) -> None:
         self.geometry = geometry
+        # Geometry-derived constants, hoisted out of the per-access path
+        # (the dataclass properties recompute on every call).
+        self._line_bytes = geometry.line_bytes
+        self._num_sets = geometry.num_sets
+        self._max_ways = geometry.ways
         # Sets are allocated lazily: large caches are mostly empty in
         # short simulations, and a fresh machine is built per run.
         self._sets: Dict[int, List[CacheLine]] = {}
+        # Flat residency index (line address -> line).  The per-set LRU
+        # lists stay authoritative for replacement; this dict makes the
+        # lookup path — the simulator's single hottest operation — one
+        # dictionary probe instead of a set scan.
+        self._where: Dict[int, CacheLine] = {}
 
     def _set_of(self, line_addr: int) -> List[CacheLine]:
-        index = (line_addr // self.geometry.line_bytes) % self.geometry.num_sets
+        index = (line_addr // self._line_bytes) % self._num_sets
         ways = self._sets.get(index)
         if ways is None:
             ways = []
@@ -42,33 +52,43 @@ class DirectMappedCache:
         return ways
 
     def lookup(self, line_addr: int) -> Optional[CacheLine]:
-        ways = self._set_of(line_addr)
-        for i, line in enumerate(ways):
-            if line.line_addr == line_addr:
-                if i:
-                    ways.insert(0, ways.pop(i))  # LRU bump
-                return line
-        return None
+        line = self._where.get(line_addr)
+        if line is not None and self._max_ways > 1:
+            # LRU bump (a direct-mapped set has no replacement order).
+            ways = self._sets[(line_addr // self._line_bytes) % self._num_sets]
+            if ways[0] is not line:
+                ways.remove(line)
+                ways.insert(0, line)
+        return line
 
     def insert(self, line: CacheLine) -> Optional[CacheLine]:
         """Install ``line``; return the evicted victim, if any."""
-        ways = self._set_of(line.line_addr)
-        for i, resident in enumerate(ways):
-            if resident.line_addr == line.line_addr:
-                ways.pop(i)
-                ways.insert(0, line)
-                return None
+        line_addr = line.line_addr
+        index = (line_addr // self._line_bytes) % self._num_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = []
+            self._sets[index] = ways
+        resident = self._where.get(line_addr)
+        if resident is not None:
+            ways.remove(resident)
+            ways.insert(0, line)
+            self._where[line_addr] = line
+            return None
         ways.insert(0, line)
-        if len(ways) > self.geometry.ways:
-            return ways.pop()  # LRU victim
+        self._where[line_addr] = line
+        if len(ways) > self._max_ways:
+            victim = ways.pop()  # LRU victim
+            del self._where[victim.line_addr]
+            return victim
         return None
 
     def remove(self, line_addr: int) -> Optional[CacheLine]:
-        ways = self._set_of(line_addr)
-        for i, line in enumerate(ways):
-            if line.line_addr == line_addr:
-                return ways.pop(i)
-        return None
+        line = self._where.pop(line_addr, None)
+        if line is None:
+            return None
+        self._sets[(line_addr // self._line_bytes) % self._num_sets].remove(line)
+        return line
 
     def flush(self) -> List[CacheLine]:
         """Drop everything; return the dirty victims (for writeback)."""
@@ -76,6 +96,7 @@ class DirectMappedCache:
             line for ways in self._sets.values() for line in ways if line.dirty
         ]
         self._sets = {}
+        self._where = {}
         return dirty
 
     def resident_lines(self) -> Iterator[CacheLine]:
@@ -84,7 +105,7 @@ class DirectMappedCache:
                 yield line
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class FillResult:
     """Outcome of installing a line into the hierarchy."""
 

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..types import AccessKind, DirState
 
@@ -36,7 +36,7 @@ def legal_transition(
     return kind is None or kind in kinds
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one memory line."""
 
@@ -83,6 +83,12 @@ class Directory:
     def peek(self, line_addr: int) -> Optional[DirectoryEntry]:
         return self._entries.get(line_addr)
 
+    def known_lines(self) -> "List[int]":
+        """Line addresses this directory has entries for (any state).
+        Used by the differential conformance harness to snapshot the
+        coherence end-state."""
+        return list(self._entries.keys())
+
     # ------------------------------------------------------------------
     def occupy(self, arrival_time: float, cycles: "int | None" = None) -> int:
         """Reserve the directory for one transaction.
@@ -95,7 +101,11 @@ class Directory:
         if not self.contention_enabled:
             return 0
         hold = self.occupancy_cycles if cycles is None else cycles
-        start = max(arrival_time, self._busy_until)
+        if arrival_time >= self._busy_until:
+            # Idle directory: no queueing, just reserve the window.
+            self._busy_until = arrival_time + hold
+            return 0
+        start = self._busy_until
         delay = int(start - arrival_time)
         self._busy_until = start + hold
         self.queueing_cycles += delay

@@ -69,7 +69,7 @@ class SpeculationHooks:
         """Merge a dirty line's tag state into the directory (Fig 6-(e))."""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class AccessResult:
     """Timing outcome of one simulated access."""
 
@@ -115,32 +115,54 @@ class _WriteBuffer:
         self._pending: List[Tuple[float, int]] = []  # (completion, line_addr)
 
     def drain(self, now: float) -> None:
-        self._pending = [p for p in self._pending if p[0] > now]
+        if self._pending:
+            self._pending = [p for p in self._pending if p[0] > now]
 
     def stall_for_slot(self, now: float) -> float:
         """Cycles to wait for a free entry."""
-        self.drain(now)
-        if len(self._pending) < self.capacity:
+        if not self._pending:
             return 0.0
-        oldest = min(p[0] for p in self._pending)
-        return max(0.0, oldest - now)
+        alive = []
+        oldest = 0.0
+        for item in self._pending:
+            if item[0] > now:
+                alive.append(item)
+                if oldest == 0.0 or item[0] < oldest:
+                    oldest = item[0]
+        self._pending = alive
+        if len(alive) < self.capacity:
+            return 0.0
+        return oldest - now
 
     def push(self, completion: float, line_addr: int) -> None:
         self._pending.append((completion, line_addr))
 
     def conflict(self, now: float, line_addr: int) -> float:
         """Cycles a read of ``line_addr`` must wait for a pending write."""
-        self.drain(now)
-        times = [c for (c, la) in self._pending if la == line_addr]
-        if not times:
-            return 0.0
-        return max(0.0, max(times) - now)
-
-    def flush_time(self, now: float) -> float:
-        self.drain(now)
         if not self._pending:
             return 0.0
-        return max(0.0, max(c for c, _ in self._pending) - now)
+        alive = []
+        latest = now
+        for item in self._pending:
+            if item[0] > now:
+                alive.append(item)
+                if item[1] == line_addr and item[0] > latest:
+                    latest = item[0]
+        self._pending = alive
+        return latest - now
+
+    def flush_time(self, now: float) -> float:
+        if not self._pending:
+            return 0.0
+        latest = now
+        alive = []
+        for item in self._pending:
+            if item[0] > now:
+                alive.append(item)
+                if item[0] > latest:
+                    latest = item[0]
+        self._pending = alive
+        return latest - now
 
 
 class MemorySystem:
@@ -171,6 +193,20 @@ class MemorySystem:
             for _ in range(params.num_processors)
         ]
         self.stats = MemStats()
+        # Hot-path constants: node lookup table and line mask (the
+        # per-access path is the simulator's inner loop).
+        self._node_of = [
+            params.node_of_processor(p) for p in range(params.num_processors)
+        ]
+        self._line_bytes = address_space.line_bytes
+        lat = params.latency
+        self._lat_l1_hit = lat.l1_hit
+        self._lat_l2_hit = lat.l2_hit
+        self._lat_local_mem = lat.local_mem
+        self._lat_remote_2hop = lat.remote_2hop
+        self._lat_remote_3hop = lat.remote_3hop
+        self._net_one_way = lat.network_one_way
+        self._dirty_forward = lat.dirty_forward
         #: telemetry bus (repro.obs.EventBus); None keeps emission free
         self.bus = None
         #: attached access trace, if any (repro.analysis.tracing.AccessTrace);
@@ -181,7 +217,7 @@ class MemorySystem:
     # Helpers
     # ------------------------------------------------------------------
     def node_of(self, proc: int) -> int:
-        return self.params.node_of_processor(proc)
+        return self._node_of[proc]
 
     def home_of(self, line_addr: int) -> Directory:
         return self.directories[self.space.home_node(line_addr)]
@@ -194,55 +230,75 @@ class MemorySystem:
     # ------------------------------------------------------------------
     def read(self, proc: int, addr: int, now: float) -> AccessResult:
         """Simulate a load.  The processor stalls for the returned time."""
-        self.stats.reads += 1
-        lat = self.params.latency
-        line_addr = self.space.line_addr(addr)
-        wb_stall = self.write_buffers[proc].conflict(now, line_addr)
-        now = now + wb_stall
+        stats = self.stats
+        stats.reads += 1
+        line_addr = addr - (addr % self._line_bytes)
+        buf = self.write_buffers[proc]
+        if buf._pending:
+            wb_stall = buf.conflict(now, line_addr)
+            now = now + wb_stall
+        else:
+            wb_stall = 0.0
 
-        level, line = self.caches[proc].probe(line_addr)
+        hier = self.caches[proc]
+        line = hier.l1.lookup(line_addr)
         if line is not None:
-            if level is HitLevel.L1:
-                self.stats.l1_hits += 1
-                base = lat.l1_hit
-            else:
-                self.stats.l2_hits += 1
-                base = lat.l2_hit
-                self.caches[proc].promote_to_l1(line)
+            level = HitLevel.L1
+            stats.l1_hits += 1
+            base = self._lat_l1_hit
+        else:
+            line = hier.l2.lookup(line_addr)
+            if line is not None:
+                level = HitLevel.L2
+                stats.l2_hits += 1
+                base = self._lat_l2_hit
+                # promote_to_l1 inlined: inclusive, so the L1 victim
+                # (same object still in the L2) needs no handling.
+                hier.l1.insert(line)
+        if line is not None:
             self.hooks.on_cache_hit(proc, line, addr, AccessKind.READ, now)
             stall = int(wb_stall) + (base - 1)
-            self.stats.read_stall_cycles += stall
+            stats.read_stall_cycles += stall
             result = AccessResult(1, stall, level)
-            self._trace(now, proc, AccessKind.READ, addr, result)
+            if self.bus is not None:
+                self._trace(now, proc, AccessKind.READ, addr, result)
             return result
 
         latency = self._fetch(proc, line_addr, addr, AccessKind.READ, now)
         stall = int(wb_stall) + (latency - 1)
-        self.stats.read_stall_cycles += stall
+        stats.read_stall_cycles += stall
         result = AccessResult(1, stall, HitLevel.MEMORY)
-        self._trace(now, proc, AccessKind.READ, addr, result)
+        if self.bus is not None:
+            self._trace(now, proc, AccessKind.READ, addr, result)
         return result
 
     def write(self, proc: int, addr: int, now: float) -> AccessResult:
         """Simulate a store.  Non-blocking via the write buffer."""
-        self.stats.writes += 1
-        lat = self.params.latency
-        line_addr = self.space.line_addr(addr)
+        stats = self.stats
+        stats.writes += 1
+        line_addr = addr - (addr % self._line_bytes)
 
-        level, line = self.caches[proc].probe(line_addr)
+        hier = self.caches[proc]
+        line = hier.l1.lookup(line_addr)
+        if line is not None:
+            level = HitLevel.L1
+        else:
+            line = hier.l2.lookup(line_addr)
+            level = HitLevel.L2
         if line is not None and line.state is LineState.DIRTY:
             # Write hit on an exclusive line: purely local (Fig 6-(c)
             # dirty branch: tags updated, "no need to tell directory").
             if level is HitLevel.L2:
-                self.caches[proc].promote_to_l1(line)
-                self.stats.l2_hits += 1
-                base = lat.l2_hit
+                hier.l1.insert(line)
+                stats.l2_hits += 1
+                base = self._lat_l2_hit
             else:
-                self.stats.l1_hits += 1
-                base = lat.l1_hit
+                stats.l1_hits += 1
+                base = self._lat_l1_hit
             self.hooks.on_cache_hit(proc, line, addr, AccessKind.WRITE, now)
             result = AccessResult(1, base - 1, level)
-            self._trace(now, proc, AccessKind.WRITE, addr, result)
+            if self.bus is not None:
+                self._trace(now, proc, AccessKind.WRITE, addr, result)
             return result
 
         # Needs a coherence transaction: upgrade (line CLEAN here) or a
@@ -257,7 +313,7 @@ class MemorySystem:
             # The tag-side test logic runs first, then the write request
             # travels to the home where the directory-side check runs.
             if level is HitLevel.L2:
-                self.caches[proc].promote_to_l1(line)
+                hier.l1.insert(line)
             self.hooks.on_cache_hit(proc, line, addr, AccessKind.WRITE, now)
             latency = self._upgrade(proc, line, addr, start)
             hit = level
@@ -270,9 +326,10 @@ class MemorySystem:
             hit = HitLevel.MEMORY
 
         buf.push(start + latency, line_addr)
-        self.stats.write_stall_cycles += int(slot_stall)
+        stats.write_stall_cycles += int(slot_stall)
         result = AccessResult(1, int(slot_stall), hit)
-        self._trace(now, proc, AccessKind.WRITE, addr, result)
+        if self.bus is not None:
+            self._trace(now, proc, AccessKind.WRITE, addr, result)
         return result
 
     def _trace(self, now, proc, kind, addr, result) -> None:
@@ -296,14 +353,19 @@ class MemorySystem:
         self, proc: int, line_addr: int, addr: int, kind: AccessKind, now: float
     ) -> int:
         """Miss: obtain the line from its home (and owner, if dirty)."""
-        lat = self.params.latency
         home_node = self.space.home_node(line_addr)
-        local = home_node == self.node_of(proc)
-        base = lat.local_mem if local else lat.remote_2hop
-        arrival = now + (0 if local else lat.network_one_way)
-        queue = self.home_of(line_addr).occupy(arrival)
+        my_node = self._node_of[proc]
+        local = home_node == my_node
+        if local:
+            base = self._lat_local_mem
+            arrival = now
+        else:
+            base = self._lat_remote_2hop
+            arrival = now + self._net_one_way
+        home = self.directories[home_node]
+        queue = home.occupy(arrival)
 
-        entry = self.home_of(line_addr).entry(line_addr)
+        entry = home.entry(line_addr)
         prev_state = entry.state
         extra = 0
         if entry.state is DirState.DIRTY and entry.owner is not None:
@@ -312,7 +374,7 @@ class MemorySystem:
                 # writes back.  A true 3-hop only when the owner sits on
                 # another node; a same-node owner is a (cheaper)
                 # cache-to-cache transfer within the node.
-                owner_remote = self.node_of(entry.owner) != self.node_of(proc)
+                owner_remote = self._node_of[entry.owner] != my_node
                 extra += self._recall_owner(
                     entry.owner,
                     line_addr,
@@ -328,12 +390,12 @@ class MemorySystem:
                 if owner_remote:
                     self.stats.remote_3hop += 1
                     if local:
-                        extra += lat.dirty_forward  # two extra messages
+                        extra += self._dirty_forward  # two extra messages
                     else:
-                        base = lat.remote_3hop
+                        base = self._lat_remote_3hop
                 else:
                     self._count_miss(local)
-                    extra += lat.dirty_forward // 2  # intra-node transfer
+                    extra += self._dirty_forward // 2  # intra-node transfer
             else:
                 # Our own dirty line missed the cache?  It must have been
                 # evicted and written back already; treat as stale entry.
@@ -369,11 +431,19 @@ class MemorySystem:
             )
         line = CacheLine(line_addr, state)
         self.hooks.fill_line_bits(proc, line, now)
-        fill = self.caches[proc].fill(line)
-        if fill.writeback is not None:
-            self._victim_writeback(proc, fill.writeback, now)
-        elif fill.dropped is not None:
-            self._drop_clean(proc, fill.dropped)
+        # CacheHierarchy.fill inlined (no FillResult on the hot path):
+        # install in both levels, purging the L2 victim from the L1 for
+        # inclusion before handling its writeback/replacement hint.
+        hier = self.caches[proc]
+        victim = hier.l2.insert(line)
+        if victim is not None:
+            hier.l1.remove(victim.line_addr)
+        hier.l1.insert(line)
+        if victim is not None:
+            if victim.dirty:
+                self._victim_writeback(proc, victim, now)
+            else:
+                self._drop_clean(proc, victim)
         return base + queue + extra
 
     def _count_miss(self, local: bool) -> None:
@@ -384,15 +454,19 @@ class MemorySystem:
 
     def _upgrade(self, proc: int, line: CacheLine, addr: int, now: float) -> int:
         """CLEAN->DIRTY ownership upgrade through the home directory."""
-        lat = self.params.latency
         line_addr = line.line_addr
         home_node = self.space.home_node(line_addr)
-        local = home_node == self.node_of(proc)
-        base = (lat.local_mem if local else lat.remote_2hop) // 2
-        arrival = now + (0 if local else lat.network_one_way)
-        queue = self.home_of(line_addr).occupy(arrival)
+        local = home_node == self._node_of[proc]
+        if local:
+            base = self._lat_local_mem // 2
+            arrival = now
+        else:
+            base = self._lat_remote_2hop // 2
+            arrival = now + self._net_one_way
+        home = self.directories[home_node]
+        queue = home.occupy(arrival)
 
-        entry = self.home_of(line_addr).entry(line_addr)
+        entry = home.entry(line_addr)
         prev_state = entry.state
         extra = 0
         others = {s for s in entry.sharers if s != proc}
@@ -439,7 +513,6 @@ class MemorySystem:
         self, requester: int, line_addr: int, sharers: set, now: float
     ) -> int:
         """Invalidate every sharer; return added latency."""
-        lat = self.params.latency
         count = 0
         for sharer in sharers:
             if sharer == requester:
@@ -450,14 +523,14 @@ class MemorySystem:
         if count == 0:
             return 0
         # Invalidations fan out in parallel; acks return to the home.
-        return lat.network_one_way + 2 * count
+        return self._net_one_way + 2 * count
 
     def _victim_writeback(self, proc: int, victim: CacheLine, now: float) -> None:
         """A dirty line displaced from the L2 returns to its home."""
         self.stats.writebacks += 1
         self.hooks.on_writeback(proc, victim, now)
         home = self.home_of(victim.line_addr)
-        home.occupy(now + self.params.latency.network_one_way)
+        home.occupy(now + self._net_one_way)
         entry = home.entry(victim.line_addr)
         if entry.owner == proc:
             prev_state = entry.state

@@ -38,6 +38,11 @@ class EventBus:
     def __init__(self) -> None:
         self._subs: Dict[type, List[Callable[[Event], None]]] = {}
         self._all: List[Callable[[Event], None]] = []
+        #: any subscriber at all?  Emission sites guard event
+        #: *construction* with this, so an attached-but-unsubscribed bus
+        #: (e.g. telemetry wired up before recorders register) costs no
+        #: allocations.
+        self.active = False
         #: hot-path flags: any subscriber interested in per-access events?
         self.wants_access = False
         self.wants_dir = False
@@ -78,6 +83,9 @@ class EventBus:
         self._recompute()
 
     def _recompute(self) -> None:
+        self.active = bool(self._all) or any(
+            bool(subs) for subs in self._subs.values()
+        )
         any_sub = bool(self._all)
         self.wants_access = any_sub or bool(self._subs.get(AccessEvent))
         self.wants_dir = any_sub or bool(self._subs.get(DirTransitionEvent))

@@ -64,6 +64,13 @@ class RunConfig:
     """Knobs shared by the parallel scenarios."""
 
     schedule: ScheduleSpec = dataclasses.field(default_factory=ScheduleSpec)
+    #: simulation engine: ``"scalar"`` executes one event per shared
+    #: access with per-word tag objects; ``"batch"`` uses whole-line tag
+    #: blocks and keeps processors executing inline while no other
+    #: pending event could legally run first.  Observably equivalent
+    #: (verdicts, timing, directory end-state) — enforced by the
+    #: differential conformance suite (tests/test_differential.py).
+    engine: str = "scalar"
     #: dense backup copies whole arrays; sparse backs up only the lines
     #: that the loop will write (hash-table saves of §2.2.1).
     sparse_backup: bool = False
@@ -94,6 +101,15 @@ class RunConfig:
     #: RunResult.  ``None`` (the default) keeps the zero-overhead null
     #: path: no bus, no event construction.
     monitors: Optional[object] = None
+
+
+def _engine_of(config: "Optional[RunConfig]") -> str:
+    engine = config.engine if config is not None else "scalar"
+    if engine not in ("scalar", "batch"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}: use 'scalar' or 'batch'"
+        )
+    return engine
 
 
 def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
@@ -176,7 +192,7 @@ def _run_phase(
     engine = machine.engine
     start = engine.now
     bus = machine.bus
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(PhaseBeginEvent(start, name))
     result = engine.run_phase(streams, start_time=start, abort_on_failure=abort_on_failure)
     finish = result.finish
@@ -187,7 +203,7 @@ def _run_phase(
     breakdown = TimeBreakdown.from_procs([result.per_proc[i] for i in participants])
     phases[name] = finish - start
     engine.now = finish
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(PhaseEndEvent(finish, name, finish - start))
     return breakdown
 
@@ -286,11 +302,11 @@ def _append_failure_tail(
     """Failure path: restore the arrays, then account the serial
     re-execution at the Serial scenario's cost (paper §6.2)."""
     bus = machine.bus
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(AbortEvent(machine.engine.now, reason, detection_cycle=detection))
     restore_bd = _run_phase(machine, "restore", _restore_streams(machine, loop), phases)
     breakdown.add(restore_bd)
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(RestoreEvent(machine.engine.now, phases.get("restore", 0.0)))
     if serial_result is None:
         serial_result = run_serial(loop, params)
@@ -301,7 +317,7 @@ def _append_failure_tail(
 
 def _begin_run(machine: Machine, scenario: Scenario, loop: Loop) -> None:
     bus = machine.bus
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(
             RunStartEvent(
                 machine.engine.now,
@@ -330,7 +346,7 @@ def _finish_run(
     if telemetry is not None and hasattr(telemetry, "metrics_snapshot"):
         result.metrics = telemetry.metrics_snapshot()
     bus = machine.bus
-    if bus is not None:
+    if bus is not None and bus.active:
         bus.emit(RunEndEvent(machine.engine.now, result.passed, result.wall))
     monitors = config.monitors if config is not None else None
     if monitors is not None and hasattr(monitors, "finalize"):
@@ -345,7 +361,9 @@ def run_serial(
     loop: Loop, params: MachineParams, config: Optional[RunConfig] = None
 ) -> RunResult:
     """Uniprocessor execution with all data local (§6)."""
-    machine = Machine(_serial_params(params), with_speculation=False)
+    machine = Machine(
+        _serial_params(params), with_speculation=False, engine=_engine_of(config)
+    )
     _apply_hook(config, machine)
     _begin_run(machine, Scenario.SERIAL, loop)
     _allocate_loop_arrays(machine, loop, local=True)
@@ -380,7 +398,7 @@ def run_ideal(
     to them are redirected to per-processor local copies.
     """
     config = config or RunConfig()
-    machine = Machine(params, with_speculation=False)
+    machine = Machine(params, with_speculation=False, engine=_engine_of(config))
     _apply_hook(config, machine)
     _begin_run(machine, Scenario.IDEAL, loop)
     _allocate_loop_arrays(machine, loop, local=False)
@@ -429,7 +447,7 @@ def run_hw(
 ) -> RunResult:
     """Hardware speculative run-time parallelization (§3/§4)."""
     config = config or RunConfig()
-    machine = Machine(params, with_speculation=True)
+    machine = Machine(params, with_speculation=True, engine=_engine_of(config))
     _apply_hook(config, machine)
     _begin_run(machine, Scenario.HW, loop)
     assert machine.spec is not None
@@ -593,7 +611,7 @@ def run_sw(
         raise ConfigurationError(
             "the processor-wise software test requires static chunk scheduling"
         )
-    machine = Machine(params, with_speculation=False)
+    machine = Machine(params, with_speculation=False, engine=_engine_of(config))
     _apply_hook(config, machine)
     _begin_run(machine, Scenario.SW, loop)
     cost = params.cost

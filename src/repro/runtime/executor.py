@@ -138,15 +138,22 @@ def block_ops(
     iter_end_cycles: int = 0,
 ) -> Iterator[object]:
     """Ops for one block of iterations on one processor."""
+    plain = instrument is identity_instrument
     for iteration in block.iterations():
         virt = virtual_of(block, iteration, spec.virtual_mode, proc)
         yield IterBeginOp(iteration, virt, iter_overhead)
-        for op in loop.iterations[iteration - 1]:
-            if isinstance(op, AccessOp):
-                for out in instrument(proc, op, virt):
-                    yield out
-            else:
-                yield op
+        if plain:
+            # Uninstrumented execution (the hardware schemes) replays
+            # the iteration's op list as-is; skip the per-access
+            # generator round trip.
+            yield from loop.iterations[iteration - 1]
+        else:
+            for op in loop.iterations[iteration - 1]:
+                if isinstance(op, AccessOp):
+                    for out in instrument(proc, op, virt):
+                        yield out
+                else:
+                    yield op
         if iter_end_cycles:
             yield ComputeOp(iter_end_cycles)
 

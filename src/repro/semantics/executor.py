@@ -164,7 +164,9 @@ def _execute_parallel(
         assignment = [[it - 1 for it in its] for its in assignment]
     else:
         assignment = _assignment(schedule, loop.iterations, num_procs)
-    last_write: Dict[Tuple[str, int], Tuple[int, object]] = {}
+    # Per-array write columns (index, iteration, value-at-iteration-end),
+    # appended in program order and committed in one batch below.
+    writes: Dict[str, Tuple[List[int], List[int], List[object]]] = {}
     for proc, iterations in enumerate(assignment):
         if not iterations:
             continue
@@ -177,15 +179,21 @@ def _execute_parallel(
             loop.body(i, proxies)
             for op in recorder.take():
                 if op.is_write and op.array in privatized:
-                    current = last_write.get((op.array, op.index))
-                    if current is None or current[0] < i:
-                        last_write[(op.array, op.index)] = (
-                            i,
-                            views[op.array][op.index],
-                        )
-    # Copy-out.
-    for (name, index), (_, value) in last_write.items():
-        loop.arrays[name][index] = value
+                    idxs, iters, vals = writes.setdefault(op.array, ([], [], []))
+                    idxs.append(op.index)
+                    iters.append(i)
+                    vals.append(views[op.array][op.index])
+    # Copy-out: each element's final value comes from its highest-
+    # numbered writing iteration.  One stable argsort by iteration plus
+    # a fancy-index store per array — positions are assigned ascending
+    # by iteration, so the last write wins; the stable sort keeps
+    # program order for same-iteration writes (whose recorded values
+    # are identical anyway: they are read at iteration end).
+    for name, (idxs, iters, vals) in writes.items():
+        target = loop.arrays[name]
+        order = np.argsort(np.asarray(iters), kind="stable")
+        values = np.asarray(vals, dtype=target.dtype)
+        target[np.asarray(idxs)[order]] = values[order]
 
 
 def speculative_run(

@@ -83,6 +83,23 @@ class Engine(Scheduler):
             return heapq.heappop(self._heap)
         return None
 
+    def next_pending_time(self) -> float:
+        """Earliest pending event time across both heaps (inf if idle).
+
+        The batch-engine processor fast path keeps executing ops inline
+        while its local clock stays strictly below this time: a freshly
+        posted resume always has a larger sequence number than anything
+        already pending, so strictly-earlier local work is exactly the
+        work the scalar engine would have run first anyway.
+        """
+        if self._msg_heap:
+            if self._heap and self._heap[0][0] < self._msg_heap[0][0]:
+                return self._heap[0][0]
+            return self._msg_heap[0][0]
+        if self._heap:
+            return self._heap[0][0]
+        return float("inf")
+
     def flush_messages(self) -> int:
         """Deliver every in-flight protocol message immediately (in time
         order).  Used at epoch synchronization points (§3.3), where the
@@ -107,7 +124,7 @@ class Engine(Scheduler):
         if self.spec is not None:
             self.spec.epoch_sync()
         self._epochs_done = epoch
-        if self.bus is not None:
+        if self.bus is not None and self.bus.active:
             self.bus.emit(EpochSyncEvent(self.now, epoch, flushed))
 
     # ------------------------------------------------------------------
@@ -191,7 +208,7 @@ class Engine(Scheduler):
             start_time=start, finish_times=finish, per_proc=deltas, aborted=aborted
         )
         self.now = max(self.now, result.finish)
-        if self.bus is not None:
+        if self.bus is not None and self.bus.active:
             self.bus.emit(QuiesceEvent(self.now, self.events_processed, aborted))
         return result
 
@@ -211,12 +228,21 @@ class Engine(Scheduler):
             callback(time)
 
     def _run_to_quiescence(self) -> None:
+        # _abort_on_failure and spec are fixed for the phase; inline
+        # should_abort() to one attribute test per event.
+        ctrl = (
+            self.spec.controller
+            if self._abort_on_failure and self.spec is not None
+            else None
+        )
+        pop = self._pop_next
+        max_events = self.max_events
         while True:
-            item = self._pop_next()
+            item = pop()
             if item is None:
                 break
             self.events_processed += 1
-            if self.events_processed > self.max_events:
+            if self.events_processed > max_events:
                 raise ConfigurationError(
                     f"simulation exceeded {self.max_events} events; "
                     "suspected livelock"
@@ -225,7 +251,7 @@ class Engine(Scheduler):
             if time > self.now:
                 self.now = time
             callback(time)
-            if self.should_abort() and not self._abort_handled:
+            if ctrl is not None and ctrl.failure is not None and not self._abort_handled:
                 self._handle_abort()
         if self._remaining > 0 and not self._abort_handled:
             stuck = [

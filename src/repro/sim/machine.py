@@ -27,8 +27,12 @@ class Machine:
         params: MachineParams,
         space: Optional[AddressSpace] = None,
         with_speculation: bool = True,
+        engine: str = "scalar",
     ) -> None:
+        if engine not in ("scalar", "batch"):
+            raise ValueError(f"unknown engine {engine!r}: use 'scalar' or 'batch'")
         self.params = params
+        self.engine_mode = engine
         self.space = space or AddressSpace(
             params.num_nodes, params.page_bytes, params.line_bytes
         )
@@ -37,9 +41,15 @@ class Machine:
         self.engine = Engine(self.memsys, self.space, spec=None)
         #: telemetry bus (repro.obs.EventBus), wired by attach_bus()
         self.bus = None
+        if engine == "batch":
+            for proc in self.engine.processors:
+                proc.fast = True
         if with_speculation:
             self.spec = SpeculationEngine(
-                params, self.space, scheduler=self.engine.message_scheduler
+                params,
+                self.space,
+                scheduler=self.engine.message_scheduler,
+                batch=(engine == "batch"),
             )
             self.spec.attach(self.memsys)
             self.spec.ctx.clock = self.engine

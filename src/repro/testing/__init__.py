@@ -1,0 +1,29 @@
+"""Test-support tooling shipped with the package.
+
+The one resident so far is the differential conformance harness
+(:mod:`repro.testing.diffcheck`), which checks that the scalar and
+batch simulation engines produce identical protocol outcomes on
+randomized workloads.  It lives in the package (not under ``tests/``)
+so a failing seed can be replayed from any checkout with::
+
+    python -m repro.testing.diffcheck --seed 12345
+"""
+
+__all__ = [
+    "CaseSpec",
+    "DiffMismatch",
+    "build_case",
+    "check_seed",
+    "conformance_signature",
+    "run_case",
+]
+
+
+def __getattr__(name):
+    # Lazy re-export: keeps ``python -m repro.testing.diffcheck`` from
+    # double-importing the submodule (runpy warns about that).
+    if name in __all__:
+        from . import diffcheck
+
+        return getattr(diffcheck, name)
+    raise AttributeError(name)

@@ -1,0 +1,342 @@
+"""Differential conformance harness: scalar engine vs batch engine.
+
+The batch execution engine (``RunConfig(engine="batch")``) re-implements
+the processor op loop and the speculation protocols' tag-side state for
+speed.  Its correctness contract is *observational equivalence* with the
+scalar reference engine, and this module is the machine check of that
+contract: build a seeded random case (loop shape x schedule x protocol
+x injected dependence), run it through both engines, and compare
+
+* the verdict (``passed``), the failure reason, culprit element,
+  iteration and detecting processor, and the detection cycle;
+* the final speculation-directory state (every element-state table of
+  every registered array) and the final coherence-directory state;
+* the timing surface — wall clock, per-phase durations — plus the
+  protocol message count and the memory-system counters.  The engines
+  are maintained *bit-identical*, which is stronger than the protocol
+  equivalence the conformance suite strictly needs; comparing timing
+  too means any future divergence is caught here first, with a seed,
+  instead of surfacing as an unexplained figure shift.
+
+Every mismatch message embeds the seed, so a failing randomized test
+reproduces with one line::
+
+    python -m repro.testing.diffcheck --seed 12345 --verbose
+
+``tests/test_differential.py`` sweeps seeds 0..N (N >= 200) through
+:func:`check_seed`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import random
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..params import MachineParams, default_params, small_test_params
+from ..runtime.driver import RunConfig, RunResult, run_hw
+from ..runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from ..trace.loop import ArraySpec, Loop
+from ..trace.ops import compute, read, write
+from ..types import ProtocolKind
+
+
+# ----------------------------------------------------------------------
+# Case generation
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class CaseSpec:
+    """One generated conformance case (everything derived from ``seed``)."""
+
+    seed: int
+    loop: Loop
+    params: MachineParams
+    schedule: ScheduleSpec
+    timestamp_bits: Optional[int]
+    per_line_bits: bool
+    protocol: ProtocolKind
+    injected_dependence: bool
+
+    def describe(self) -> str:
+        return (
+            f"seed={self.seed} loop={self.loop.name!r} "
+            f"procs={self.params.num_processors} "
+            f"sched={self.schedule.policy.value}/chunk={self.schedule.chunk_iterations}"
+            f"/{self.schedule.virtual_mode.value} "
+            f"ts_bits={self.timestamp_bits} per_line={self.per_line_bits} "
+            f"protocol={self.protocol.value} injected={self.injected_dependence}"
+        )
+
+
+def _random_body(
+    rng: random.Random,
+    protocol: ProtocolKind,
+    elements: int,
+    iterations: int,
+) -> Tuple[List[List[object]], bool]:
+    """Random per-iteration op lists for one array under test.
+
+    The baseline pattern is well-formed for the chosen protocol (disjoint
+    slices for the non-privatization test, write-before-read scratch for
+    the privatization tests); with ~40% probability a cross-iteration
+    dependence is injected so the FAIL paths — detection, culprit
+    attribution, abort timing — get differential coverage too.
+    """
+    body: List[List[object]] = []
+    per = max(1, elements // iterations)
+    for i in range(iterations):
+        ops: List[object] = []
+        accesses = rng.randint(2, min(6, per * 2))
+        if protocol is ProtocolKind.NONPRIV:
+            # Each iteration owns a disjoint slice; random read/write mix.
+            lo = (i * per) % elements
+            for _ in range(accesses):
+                j = lo + rng.randrange(per)
+                if rng.random() < 0.5:
+                    ops.append(read("A", j))
+                else:
+                    ops.append(write("A", j))
+                if rng.random() < 0.7:
+                    ops.append(compute(rng.randint(5, 60)))
+        else:
+            # Scratch usage: write a slot, compute, read it back.
+            for _ in range(accesses):
+                slot = rng.randrange(elements)
+                ops.append(write("A", slot))
+                if rng.random() < 0.7:
+                    ops.append(compute(rng.randint(5, 60)))
+                if rng.random() < 0.8:
+                    ops.append(read("A", slot))
+        body.append(ops)
+
+    injected = iterations >= 2 and rng.random() < 0.4
+    if injected:
+        # A flow dependence between two distinct iterations on one
+        # element: earlier iteration writes it, a later one touches it.
+        i1 = rng.randrange(iterations - 1)
+        i2 = rng.randrange(i1 + 1, iterations)
+        elem = rng.randrange(elements)
+        body[i1].append(write("A", elem))
+        if protocol is ProtocolKind.NONPRIV and rng.random() < 0.5:
+            body[i2].insert(0, read("A", elem))
+        else:
+            # For the privatization tests a read *before* any write in
+            # the iteration is what breaks privatizability.
+            body[i2].insert(0, read("A", elem))
+            body[i2].append(write("A", elem))
+    return body, injected
+
+
+def build_case(seed: int) -> CaseSpec:
+    """Deterministically derive a full case from ``seed``."""
+    rng = random.Random(seed)
+    procs = rng.choice([2, 4])
+    params = (
+        small_test_params(procs) if rng.random() < 0.7 else default_params(procs)
+    )
+    protocol = rng.choice(
+        [ProtocolKind.NONPRIV, ProtocolKind.PRIV, ProtocolKind.PRIV_SIMPLE]
+    )
+    elements = rng.randint(16, 64)
+    iterations = rng.randint(4, 12)
+    body, injected = _random_body(rng, protocol, elements, iterations)
+    loop = Loop(
+        f"diff-{seed}",
+        [ArraySpec("A", elements, 8, protocol)],
+        body,
+    )
+
+    policy = rng.choice([SchedulePolicy.DYNAMIC, SchedulePolicy.STATIC_CHUNK])
+    chunk = rng.choice([1, 2, 4])
+    if policy is SchedulePolicy.STATIC_CHUNK:
+        virtual = rng.choice([VirtualMode.CHUNK, VirtualMode.ITERATION])
+    else:
+        virtual = VirtualMode.CHUNK
+    schedule = ScheduleSpec(
+        policy=policy, chunk_iterations=chunk, virtual_mode=virtual
+    )
+    # Time-stamp epochs require a static schedule with chunk numbering.
+    timestamp_bits: Optional[int] = None
+    if (
+        policy is SchedulePolicy.STATIC_CHUNK
+        and virtual is VirtualMode.CHUNK
+        and rng.random() < 0.3
+    ):
+        timestamp_bits = rng.choice([2, 3])
+    per_line_bits = protocol is ProtocolKind.NONPRIV and rng.random() < 0.1
+    return CaseSpec(
+        seed=seed,
+        loop=loop,
+        params=params,
+        schedule=schedule,
+        timestamp_bits=timestamp_bits,
+        per_line_bits=per_line_bits,
+        protocol=protocol,
+        injected_dependence=injected,
+    )
+
+
+# ----------------------------------------------------------------------
+# Running and comparing
+# ----------------------------------------------------------------------
+def _table_state(protocol_obj) -> Dict[str, Dict[str, list]]:
+    """Every numpy-backed element-state table of one protocol object,
+    as ``{array_name: {field: values}}``."""
+    out: Dict[str, Dict[str, list]] = {}
+    tables = getattr(protocol_obj, "_tables", None)
+    if not tables:
+        return out
+    for name, table in sorted(tables.items()):
+        fields: Dict[str, list] = {}
+        for attr, value in vars(table).items():
+            if isinstance(value, np.ndarray):
+                fields[attr] = value.tolist()
+        out[name] = fields
+    return out
+
+
+def _directory_state(machine) -> list:
+    """Coherence-directory end-state: per node, per line, the stable
+    (state, owner, sharers) triple."""
+    snap = []
+    for directory in machine.memsys.directories:
+        lines = []
+        for line_addr in sorted(directory.known_lines()):
+            entry = directory.peek(line_addr)
+            lines.append(
+                (
+                    line_addr,
+                    entry.state.value,
+                    entry.owner,
+                    tuple(sorted(entry.sharers)),
+                )
+            )
+        snap.append(lines)
+    return snap
+
+
+def conformance_signature(result: RunResult, machine) -> dict:
+    """Everything the conformance contract compares, as one dict."""
+    failure = result.failure
+    mem = result.mem
+    spec = machine.spec
+    return {
+        "passed": result.passed,
+        "failure": (
+            (failure.reason, failure.element, failure.iteration, failure.processor)
+            if failure is not None
+            else None
+        ),
+        "detection_cycle": result.detection_cycle,
+        "wall": result.wall,
+        "phases": dict(result.phases),
+        "spec_messages": result.spec_messages,
+        "mem": (
+            (
+                mem.reads, mem.writes, mem.l1_hits, mem.l2_hits,
+                mem.local_misses, mem.remote_2hop, mem.remote_3hop,
+                mem.writebacks, mem.invalidations,
+            )
+            if mem is not None
+            else None
+        ),
+        "assignment": result.assignment,
+        "nonpriv_tables": _table_state(spec.nonpriv) if spec else {},
+        "priv_tables": _table_state(spec.priv) if spec else {},
+        "priv_simple_tables": _table_state(spec.priv_simple) if spec else {},
+        "coherence_dirs": _directory_state(machine),
+    }
+
+
+class DiffMismatch(AssertionError):
+    """Raised when the two engines disagree; message carries the repro."""
+
+
+def run_case(case: CaseSpec) -> Tuple[dict, dict]:
+    """Run one case through both engines; return their signatures."""
+    sigs = []
+    for engine in ("scalar", "batch"):
+        captured: List[object] = []
+        config = RunConfig(
+            engine=engine,
+            schedule=case.schedule,
+            timestamp_bits=case.timestamp_bits,
+            per_line_bits=case.per_line_bits,
+            machine_hook=captured.append,
+        )
+        result = run_hw(case.loop, case.params, config)
+        sigs.append(conformance_signature(result, captured[0]))
+    return sigs[0], sigs[1]
+
+
+def _diff_keys(scalar_sig: dict, batch_sig: dict) -> List[str]:
+    lines = []
+    for key in scalar_sig:
+        if scalar_sig[key] != batch_sig[key]:
+            lines.append(
+                f"  {key}:\n    scalar: {scalar_sig[key]!r}\n"
+                f"    batch:  {batch_sig[key]!r}"
+            )
+    return lines
+
+
+def check_seed(seed: int) -> CaseSpec:
+    """Build, run and compare one seed; raise :class:`DiffMismatch` with
+    a one-line repro on any disagreement."""
+    case = build_case(seed)
+    scalar_sig, batch_sig = run_case(case)
+    if scalar_sig != batch_sig:
+        detail = "\n".join(_diff_keys(scalar_sig, batch_sig))
+        raise DiffMismatch(
+            f"scalar/batch divergence on {case.describe()}\n{detail}\n"
+            f"reproduce: python -m repro.testing.diffcheck --seed {seed} --verbose"
+        )
+    return case
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.diffcheck",
+        description="Replay differential conformance cases (scalar vs batch).",
+    )
+    parser.add_argument("--seed", type=int, help="run one specific seed")
+    parser.add_argument(
+        "--count", type=int, default=50,
+        help="without --seed: number of consecutive seeds to run",
+    )
+    parser.add_argument(
+        "--start", type=int, default=0,
+        help="without --seed: first seed of the sweep",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print each case description"
+    )
+    args = parser.parse_args(argv)
+
+    seeds = (
+        [args.seed]
+        if args.seed is not None
+        else list(range(args.start, args.start + args.count))
+    )
+    failures = 0
+    for seed in seeds:
+        try:
+            case = check_seed(seed)
+        except DiffMismatch as exc:
+            failures += 1
+            print(f"FAIL {exc}")
+        else:
+            if args.verbose:
+                print(f"ok   {case.describe()}")
+    print(f"{len(seeds) - failures}/{len(seeds)} cases conform")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

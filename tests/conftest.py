@@ -2,10 +2,35 @@
 
 from __future__ import annotations
 
+import os
+import random
+import zlib
+
 import pytest
 
 from repro.params import MachineParams, small_test_params
 from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def seeded_rng(request) -> random.Random:
+    """Deterministic per-test RNG for randomized (property-style) tests.
+
+    The seed is derived from the test's node id, so every test gets a
+    distinct but *stable* stream: a failure replays exactly on re-run.
+    Set ``REPRO_TEST_SEED`` to force one specific seed (e.g. to replay
+    a seed a CI failure reported).  The seed is printed (pytest shows
+    captured output for failing tests) and recorded as a junit user
+    property, so any randomized failure carries its own repro recipe.
+    """
+    env = os.environ.get("REPRO_TEST_SEED")
+    if env is not None:
+        seed = int(env)
+    else:
+        seed = zlib.crc32(request.node.nodeid.encode()) & 0x7FFFFFFF
+    request.node.user_properties.append(("seeded_rng_seed", seed))
+    print(f"seeded_rng: seed={seed} (override with REPRO_TEST_SEED={seed})")
+    return random.Random(seed)
 
 
 @pytest.fixture

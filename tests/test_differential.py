@@ -1,0 +1,135 @@
+"""Differential conformance suite: scalar engine vs batch engine.
+
+Sweeps seeded randomized cases through ``repro.testing.diffcheck`` and
+requires the two execution engines to agree on *everything* the
+conformance contract covers: verdict, failure attribution, detection
+cycle, timing surface, memory counters, assignment, the speculation
+element-state tables and the coherence-directory end-state.
+
+Any mismatch raises ``DiffMismatch`` whose message embeds the failing
+seed and the one-line repro::
+
+    python -m repro.testing.diffcheck --seed <N> --verbose
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.testing import diffcheck
+from repro.testing.diffcheck import (
+    DiffMismatch,
+    build_case,
+    check_seed,
+    run_case,
+)
+from repro.types import ProtocolKind
+
+# 240 fixed seeds (the ISSUE floor is 200), swept in groups so a failure
+# pinpoints its block while collection stays cheap.
+GROUP = 10
+GROUPS = 24
+
+
+@pytest.mark.parametrize("base", [g * GROUP for g in range(GROUPS)])
+def test_conformance_sweep(base):
+    for seed in range(base, base + GROUP):
+        check_seed(seed)
+
+
+def test_randomized_seed_sweep(seeded_rng: random.Random):
+    """Property-style extension of the fixed sweep: fresh seeds drawn
+    from the shared deterministic fixture, so this block explores seeds
+    outside 0..239 while still replaying exactly on failure."""
+    for _ in range(20):
+        check_seed(seeded_rng.randrange(1_000_000))
+
+
+def test_case_generation_is_deterministic():
+    a = build_case(12345)
+    b = build_case(12345)
+    assert a.describe() == b.describe()
+    assert a.loop.iterations == b.loop.iterations
+
+
+def test_sweep_covers_the_interesting_axes():
+    """The fixed 240-seed sweep must actually exercise every protocol,
+    both schedule policies, injected dependences, and the timestamp /
+    per-line variants — otherwise the conformance guarantee is hollow."""
+    cases = [build_case(s) for s in range(GROUPS * GROUP)]
+    protocols = {c.protocol for c in cases}
+    assert protocols == {
+        ProtocolKind.NONPRIV,
+        ProtocolKind.PRIV,
+        ProtocolKind.PRIV_SIMPLE,
+    }
+    assert {c.schedule.policy.value for c in cases} == {"dynamic", "static-chunk"}
+    assert any(c.injected_dependence for c in cases)
+    assert any(not c.injected_dependence for c in cases)
+    assert any(c.timestamp_bits is not None for c in cases)
+    assert any(c.per_line_bits for c in cases)
+
+
+def test_sweep_exercises_both_verdicts():
+    """Some seeds must PASS and some must FAIL, so the differential
+    comparison covers commit *and* abort paths end to end."""
+    verdicts = set()
+    for seed in range(60):
+        scalar_sig, _ = run_case(build_case(seed))
+        verdicts.add(scalar_sig["passed"])
+        if verdicts == {True, False}:
+            return
+    raise AssertionError(f"only saw verdicts {verdicts} in 60 seeds")
+
+
+def test_mismatch_message_carries_the_repro_line(monkeypatch):
+    """A divergence must print the failing seed for one-line repro."""
+    real_run_case = diffcheck.run_case
+
+    def corrupted(case):
+        scalar_sig, batch_sig = real_run_case(case)
+        batch_sig = dict(batch_sig)
+        batch_sig["wall"] = scalar_sig["wall"] + 1
+        return scalar_sig, batch_sig
+
+    monkeypatch.setattr(diffcheck, "run_case", corrupted)
+    with pytest.raises(DiffMismatch) as excinfo:
+        diffcheck.check_seed(777)
+    message = str(excinfo.value)
+    assert "python -m repro.testing.diffcheck --seed 777" in message
+    assert "wall" in message
+
+
+def test_signature_includes_directory_state():
+    """The conformance signature must compare protocol-table and
+    coherence-directory end-state, not just the verdict."""
+    scalar_sig, batch_sig = run_case(build_case(3))
+    assert "coherence_dirs" in scalar_sig and scalar_sig["coherence_dirs"]
+    tables = (
+        scalar_sig["nonpriv_tables"]
+        or scalar_sig["priv_tables"]
+        or scalar_sig["priv_simple_tables"]
+    )
+    assert tables, "no element-state table captured"
+    assert scalar_sig == batch_sig
+
+
+# ----------------------------------------------------------------------
+# The shared seeded-RNG fixture itself
+# ----------------------------------------------------------------------
+def test_seeded_rng_is_deterministic_per_test(request):
+    import zlib
+
+    rng = request.getfixturevalue("seeded_rng")
+    expected_seed = zlib.crc32(request.node.nodeid.encode()) & 0x7FFFFFFF
+    assert rng.random() == random.Random(expected_seed).random()
+    recorded = dict(request.node.user_properties)
+    assert recorded["seeded_rng_seed"] == expected_seed
+
+
+def test_seeded_rng_env_override(request, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_SEED", "424242")
+    rng = request.getfixturevalue("seeded_rng")
+    assert rng.random() == random.Random(424242).random()

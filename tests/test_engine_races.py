@@ -1,0 +1,141 @@
+"""End-to-end race coverage under both execution engines.
+
+The machine-level protocol tests (test_nonpriv_protocol.py) drive the
+memory system directly, which bypasses the processor op loop — and
+therefore the scalar/batch engine split.  These tests rebuild the two
+subtlest non-privatization interleavings as *scheduled loops* so both
+engines execute them through ``run_hw``:
+
+* a dirty line evicted while a ``First_update`` is still in flight
+  (the victim writeback must merge tag state without tripping a
+  spurious FAIL, and the late update must still land correctly);
+* a tag-local write on a dirty line that escapes every directory check
+  and is only revealed by the loop-end dirty-line commit sweep.
+
+Each scenario asserts the protocol outcome *and* that the two engines
+produce identical conformance signatures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import small_test_params
+from repro.runtime.driver import RunConfig, run_hw
+from repro.runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
+from repro.testing.diffcheck import conformance_signature
+from repro.trace.loop import ArraySpec, Loop
+from repro.trace.ops import compute, read, write
+from repro.types import ProtocolKind
+
+ENGINES = ["scalar", "batch"]
+
+# small_test_params: 64-byte lines (8 elements of 8 bytes), 64 L2 lines,
+# so element index 512 conflicts with element 0 in the L2.
+ELEMS_PER_LINE = 8
+L2_CONFLICT_STRIDE = 64 * ELEMS_PER_LINE
+
+
+def _run(loop: Loop, engine: str, procs: int = 2):
+    captured = []
+    config = RunConfig(
+        engine=engine,
+        schedule=ScheduleSpec(
+            policy=SchedulePolicy.STATIC_CHUNK,
+            chunk_iterations=1,
+            virtual_mode=VirtualMode.ITERATION,
+        ),
+        machine_hook=captured.append,
+    )
+    result = run_hw(loop, small_test_params(procs), config)
+    return result, captured[0]
+
+
+def _both_engines(loop: Loop):
+    """Run on both engines, assert identical signatures, return scalar's."""
+    (scalar_result, scalar_machine) = _run(loop, "scalar")
+    (batch_result, batch_machine) = _run(loop, "batch")
+    scalar_sig = conformance_signature(scalar_result, scalar_machine)
+    batch_sig = conformance_signature(batch_result, batch_machine)
+    assert scalar_sig == batch_sig
+    return scalar_result, scalar_machine
+
+
+def _dirty_eviction_loop() -> Loop:
+    # One iteration, all on P0: fill the line clean (read e2), clean-hit
+    # read of e1 puts a First_update in flight, the write of e0 takes
+    # the line dirty, and the conflicting write of e512 evicts it —
+    # a dirty victim writeback racing the still-in-flight update.
+    body = [
+        [read("A", 2), read("A", 1), write("A", 0), write("A", L2_CONFLICT_STRIDE)]
+    ]
+    return Loop(
+        "evict-race",
+        [ArraySpec("A", L2_CONFLICT_STRIDE + ELEMS_PER_LINE, 8, ProtocolKind.NONPRIV)],
+        body,
+    )
+
+
+def _clean_eviction_loop() -> Loop:
+    # Same shape but the victim line stays clean: the eviction is a
+    # clean drop while the First_update is in flight.
+    body = [[read("A", 2), read("A", 1), read("A", L2_CONFLICT_STRIDE)]]
+    return Loop(
+        "evict-race-clean",
+        [ArraySpec("A", L2_CONFLICT_STRIDE + ELEMS_PER_LINE, 8, ProtocolKind.NONPRIV)],
+        body,
+    )
+
+
+def _commit_hole_loop() -> Loop:
+    # P0 clean-hit reads e1 (First_update in flight); P1 takes the line
+    # dirty via e0 before the update lands, then writes e1 as a dirty
+    # L1 hit — tag-local, no message, invisible to every directory
+    # check.  Only the loop-end dirty-line commit reveals it.  The
+    # compute pad times P1's writes into the update's flight window.
+    body = [
+        [read("A", 2), read("A", 1)],
+        [compute(20), write("A", 0), write("A", 1)],
+    ]
+    return Loop("commit-hole", [ArraySpec("A", 64, 8, ProtocolKind.NONPRIV)], body)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestEvictionRacingFirstUpdate:
+    def test_dirty_victim_writeback_merges_without_spurious_fail(self, engine):
+        result, machine = _run(_dirty_eviction_loop(), engine)
+        assert result.passed
+        table = machine.spec.nonpriv.table("A")
+        # The evicted dirty line's write state reached the directory...
+        assert bool(table.priv[0])
+        # ...and the late First_update still recorded P0 as first reader.
+        assert int(table.first[1]) == 0
+        # The conflicting line was itself committed at loop end.
+        assert bool(table.priv[L2_CONFLICT_STRIDE])
+
+    def test_clean_drop_with_update_in_flight(self, engine):
+        result, machine = _run(_clean_eviction_loop(), engine)
+        assert result.passed
+        table = machine.spec.nonpriv.table("A")
+        assert int(table.first[1]) == 0
+        assert not bool(table.priv[1])
+
+    def test_engines_agree_on_eviction_races(self, engine):
+        # engine param unused: the point is the explicit pairwise check.
+        _both_engines(_dirty_eviction_loop())
+        _both_engines(_clean_eviction_loop())
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestLoopEndDirtyLineCommit:
+    def test_commit_reveals_tag_local_write(self, engine):
+        result, _ = _run(_commit_hole_loop(), engine)
+        assert not result.passed
+        failure = result.failure
+        assert failure.element == ("A", 1)
+        assert failure.processor == 1
+        assert "writeback reveals" in failure.reason
+
+    def test_engines_agree_on_commit_verdict(self, engine):
+        result, _ = _both_engines(_commit_hole_loop())
+        assert not result.passed

@@ -198,7 +198,7 @@ class TestCLI:
 
         from repro.experiments.cli import main
 
-        out_path = tmp_path / "BENCH_PR3.json"
+        out_path = tmp_path / "BENCH_PR4.json"
         assert main(["bench", "--bench-out", str(out_path),
                      "--bench-reps", "1"]) == 0
         doc = json.loads(out_path.read_text())
@@ -207,7 +207,76 @@ class TestCLI:
         assert "overhead_pct" in doc["telemetry"]
         assert "overhead_pct" in doc["monitors"]
         assert doc["provenance"]["config_hash"]
-        assert "wrote" in capsys.readouterr().out
+        # The engine matrix covers both engines at every level.
+        assert set(doc["engines"]) == {"scalar", "batch"}
+        for levels in doc["engines"].values():
+            assert set(levels) == {"bare", "telemetry", "monitors"}
+            assert levels["bare"]["iters_per_s"] > 0
+        # Top level mirrors the scalar engine (PR3-era shape).
+        assert doc["bare"] == doc["engines"]["scalar"]["bare"]
+        out = capsys.readouterr().out
+        assert "wrote" in out and "batch/scalar bare speedup" in out
+
+
+class TestBenchDiff:
+    @staticmethod
+    def _doc(scalar_bare, batch_bare, factor=1.5):
+        def cell(s):
+            return {"best_s": s, "iters_per_s": 48 / s}
+
+        def over(s):
+            return {"best_s": s, "overhead_pct": 0.0}
+
+        return {
+            "engines": {
+                "scalar": {"bare": cell(scalar_bare),
+                           "telemetry": over(scalar_bare * factor),
+                           "monitors": over(scalar_bare * factor)},
+                "batch": {"bare": cell(batch_bare),
+                          "telemetry": over(batch_bare * factor),
+                          "monitors": over(batch_bare * factor)},
+            }
+        }
+
+    def test_no_regression_exits_zero(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.benchdiff import main
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(self._doc(0.020, 0.014)))
+        cur.write_text(json.dumps(self._doc(0.021, 0.015)))  # 5%: fine
+        assert main([str(base), str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "::warning::" not in out
+        assert "no cell slowed" in out
+
+    def test_regression_warns_but_does_not_gate(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.benchdiff import main
+
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(self._doc(0.020, 0.014)))
+        cur.write_text(json.dumps(self._doc(0.020, 0.020)))  # batch +43%
+        assert main([str(base), str(cur), "--threshold", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "::warning::bench regression: batch/bare" in out
+        assert main([str(base), str(cur), "--strict"]) == 1
+
+    def test_understands_flat_pr3_shape(self, tmp_path):
+        import json
+
+        from repro.experiments.benchdiff import compare
+
+        flat = {"bare": {"best_s": 0.030},
+                "telemetry": {"best_s": 0.050},
+                "monitors": {"best_s": 0.042}}
+        report, regressions = compare(flat, self._doc(0.020, 0.014))
+        assert not regressions  # everything got faster
+        assert any("only in current" in line for line in report)
 
 
 class TestCharts:

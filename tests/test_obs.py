@@ -85,6 +85,42 @@ class TestEventBus:
         with pytest.raises(dataclasses.FrozenInstanceError):
             event.phase = "other"
 
+    def test_active_flag_tracks_subscriptions(self):
+        bus = EventBus()
+        assert not bus.active
+        fn = bus.subscribe(PhaseBeginEvent, lambda e: None)
+        assert bus.active
+        bus.unsubscribe(PhaseBeginEvent, fn)
+        assert not bus.active
+        fn = bus.subscribe(None, lambda e: None)
+        assert bus.active
+        bus.unsubscribe(None, fn)
+        assert not bus.active
+
+    def test_zero_subscriber_bus_constructs_no_events(self, monkeypatch):
+        """An attached bus with no subscribers must not cost anything:
+        every emission site guards event construction on ``bus.active``,
+        so a full hardware run emits exactly zero events."""
+        emitted = []
+        real_emit = EventBus.emit
+        monkeypatch.setattr(
+            EventBus, "emit", lambda self, event: (emitted.append(event),
+                                                   real_emit(self, event))[1]
+        )
+        workload = AdmWorkload(seed=7, scale=0.25)
+        loop = next(workload.executions(1))
+        bus = EventBus()
+        config = dataclasses.replace(workload.hw_config(), telemetry=bus)
+        result = run_hw(loop, small_test_params(4), config)
+        assert result.passed
+        assert emitted == []
+        # Control: the same run with one subscriber flows events again.
+        bus2 = EventBus()
+        recorder = EventRecorder().subscribe(bus2)
+        config2 = dataclasses.replace(workload.hw_config(), telemetry=bus2)
+        run_hw(loop, small_test_params(4), config2)
+        assert emitted and len(recorder) == len(emitted)
+
 
 # ----------------------------------------------------------------------
 # BoundedLog / legacy trace classes as bus subscribers
