@@ -74,6 +74,21 @@ class SpeculationFailure(ReproError):
         self.iteration = iteration
         self.processor = processor
 
+    def __reduce__(self):
+        # Default exception pickling keeps only ``args`` (the reason);
+        # results cross process boundaries in the experiment pool, so
+        # the full failure attribution must survive a pickle round-trip.
+        return (
+            type(self),
+            (
+                self.reason,
+                self.element,
+                self.detected_at,
+                self.iteration,
+                self.processor,
+            ),
+        )
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         parts = [self.reason]
         if self.element is not None:

@@ -28,6 +28,12 @@ perf job runs this, diffs ``iters_per_s`` per cell against the
 committed baseline (``BENCH_PR4.json``) and warns — non-gating — on a
 >15% drop; the hard <3% telemetry-off gate lives in
 ``benchmarks/bench_simulator_throughput.py`` and is unaffected.
+
+With ``jobs > 1`` the matrix cells fan out across worker processes
+(one task per cell, every repetition timed *inside* its worker, GC
+paused there too).  Parallel cells contend for the host's cores, so
+absolute numbers are noisier than the default interleaved serial
+measurement — use ``jobs=1`` (the default) for baseline documents.
 """
 
 from __future__ import annotations
@@ -41,11 +47,13 @@ from ..obs import MonitorSuite, Telemetry
 from ..params import small_test_params
 from ..runtime.driver import RunConfig, run_hw
 from ..workloads.synthetic import parallel_nonpriv_loop
+from .pool import PoolTask, run_tasks
 
 BENCH_ITERATIONS = 48
 BENCH_ELEMENTS = 1024
 BENCH_PROCESSORS = 4
 ENGINES = ("scalar", "batch")
+LEVELS = ("bare", "telemetry", "monitors")
 
 
 def _measure(fn: Callable[[], object]) -> float:
@@ -54,48 +62,78 @@ def _measure(fn: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
-def run_bench(out: str = "BENCH_PR4.json", reps: int = 7) -> str:
+def _make_bench_workload():
     loop = parallel_nonpriv_loop(
         "bench-throughput", elements=BENCH_ELEMENTS, iterations=BENCH_ITERATIONS
     )
-    params = small_test_params(BENCH_PROCESSORS)
+    return loop, small_test_params(BENCH_PROCESSORS)
 
-    def bare(engine: str) -> None:
+
+def _run_cell(engine: str, level: str, loop, params) -> None:
+    if level == "bare":
         run_hw(loop, params, RunConfig(engine=engine))
-
-    def with_telemetry(engine: str) -> None:
+    elif level == "telemetry":
         run_hw(loop, params, RunConfig(engine=engine, telemetry=Telemetry()))
-
-    def with_monitors(engine: str) -> None:
+    else:
         result = run_hw(
             loop, params, RunConfig(engine=engine, monitors=MonitorSuite())
         )
         assert result.violations == []
 
-    levels: Dict[str, Callable[[str], None]] = {
-        "bare": bare,
-        "telemetry": with_telemetry,
-        "monitors": with_monitors,
-    }
-    cells: List[Tuple[str, str]] = [
-        (engine, level) for engine in ENGINES for level in levels
-    ]
-    times: Dict[Tuple[str, str], List[float]] = {cell: [] for cell in cells}
-    for engine, level in cells:  # warmup round, not measured
-        levels[level](engine)
-    # Collector pauses land randomly inside the short timed runs and
-    # dominate rep-to-rep variance; pause collection while measuring
-    # (the simulator allocates heavily but builds no cycles).
+
+def _bench_cell_times(engine: str, level: str, reps: int) -> List[float]:
+    """Pool task: warm up and time one matrix cell, wholly in-worker."""
+    loop, params = _make_bench_workload()
+    _run_cell(engine, level, loop, params)  # warmup, not measured
     was_enabled = gc.isenabled()
     gc.collect()
     gc.disable()
     try:
-        for _ in range(reps):
-            for engine, level in cells:
-                times[(engine, level)].append(_measure(lambda: levels[level](engine)))
+        return [
+            _measure(lambda: _run_cell(engine, level, loop, params))
+            for _ in range(reps)
+        ]
     finally:
         if was_enabled:
             gc.enable()
+
+
+def run_bench(out: str = "BENCH_PR4.json", reps: int = 7, jobs: int = 1) -> str:
+    loop, params = _make_bench_workload()
+    cells: List[Tuple[str, str]] = [
+        (engine, level) for engine in ENGINES for level in LEVELS
+    ]
+    if jobs is not None and jobs != 1:
+        outputs = run_tasks(
+            [
+                PoolTask(_bench_cell_times, cell + (reps,),
+                         label=f"bench:{cell[0]}/{cell[1]}")
+                for cell in cells
+            ],
+            jobs=jobs,
+        )
+        times = dict(zip(cells, outputs))
+    else:
+        times = {cell: [] for cell in cells}
+        for engine, level in cells:  # warmup round, not measured
+            _run_cell(engine, level, loop, params)
+        # Collector pauses land randomly inside the short timed runs and
+        # dominate rep-to-rep variance; pause collection while measuring
+        # (the simulator allocates heavily but builds no cycles).
+        was_enabled = gc.isenabled()
+        gc.collect()
+        gc.disable()
+        try:
+            # Repetitions interleave across cells so host-load drift
+            # hits every cell equally.
+            for _ in range(reps):
+                for engine, level in cells:
+                    times[(engine, level)].append(
+                        _measure(lambda: _run_cell(engine, level, loop, params))
+                    )
+        finally:
+            if was_enabled:
+                gc.enable()
 
     best = {cell: min(ts) for cell, ts in times.items()}
 
@@ -110,7 +148,7 @@ def run_bench(out: str = "BENCH_PR4.json", reps: int = 7) -> str:
         return cell
 
     engines_doc = {
-        engine: {level: _cell_doc(engine, level) for level in levels}
+        engine: {level: _cell_doc(engine, level) for level in LEVELS}
         for engine in ENGINES
     }
     provenance = run_hw(loop, params, RunConfig()).provenance

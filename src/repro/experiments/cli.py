@@ -98,7 +98,60 @@ def _doctor(args) -> str:
 
 @_register("bench")
 def _bench(args) -> str:
-    return bench.run_bench(out=args.bench_out, reps=args.bench_reps)
+    return bench.run_bench(out=args.bench_out, reps=args.bench_reps,
+                           jobs=args.jobs)
+
+
+def _sweep_value(text: str):
+    """Parse one --sweep-values item: int, then float, then bare string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+@_register("sweep")
+def _sweep(args) -> str:
+    from ..params import default_params
+    from ..types import Scenario
+    from .sweeps import format_sweep, sweep_machine
+
+    workload = figures.make_workload(args.workload, args.preset, args.seed)
+    loop = next(iter(workload.executions(1)))
+    values = [_sweep_value(v) for v in args.sweep_values.split(",") if v]
+    points = sweep_machine(
+        loop,
+        args.sweep_field,
+        values,
+        scenario=Scenario[args.sweep_scenario.upper()],
+        base_params=default_params(workload.num_processors),
+        jobs=args.jobs,
+    )
+    header = (
+        f"sweep: {args.sweep_field} over {loop.name!r} "
+        f"({args.sweep_scenario}, jobs={args.jobs})"
+    )
+    return header + "\n" + format_sweep(points, label=args.sweep_field)
+
+
+@_register("diffsweep")
+def _diffsweep(args) -> str:
+    from ..testing.diffcheck import run_seeds
+
+    seeds = list(range(args.diff_start, args.diff_start + args.diff_count))
+    verdicts = run_seeds(seeds, jobs=args.jobs)
+    lines = [
+        f"FAIL {v['message']}" for v in verdicts if not v["conforms"]
+    ]
+    conforming = len(seeds) - len(lines)
+    lines.append(
+        f"{conforming}/{len(seeds)} cases conform (jobs={args.jobs})"
+    )
+    return "\n".join(lines)
 
 
 @_register("trace")
@@ -161,25 +214,57 @@ def main(argv: "List[str] | None" = None) -> int:
         "--bench-reps", type=int, default=7,
         help="bench: repetitions per instrumentation level (best-of)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep/bench/diffsweep (0 = one per "
+        "core); results are identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--sweep-field", default="num_processors",
+        help="sweep: dotted MachineParams field to vary",
+    )
+    parser.add_argument(
+        "--sweep-values", default="2,4,8",
+        help="sweep: comma-separated values for the swept field",
+    )
+    parser.add_argument(
+        "--sweep-scenario", default="hw",
+        choices=("serial", "ideal", "sw", "hw"),
+        help="sweep: scenario to run at each point",
+    )
+    parser.add_argument(
+        "--diff-count", type=int, default=50,
+        help="diffsweep: number of consecutive conformance seeds",
+    )
+    parser.add_argument(
+        "--diff-start", type=int, default=0,
+        help="diffsweep: first seed of the sweep",
+    )
     args = parser.parse_args(argv)
 
     # "all" regenerates every table/figure; trace and bench (which
-    # write files) and doctor (a self-check, not an evaluation result)
-    # stay explicit-only.
+    # write files), doctor (a self-check, not an evaluation result) and
+    # the parameterized explorations (sweep, diffsweep) stay
+    # explicit-only.
     chosen = (
-        sorted(n for n in EXPERIMENTS if n not in ("trace", "doctor", "bench"))
+        sorted(
+            n for n in EXPERIMENTS
+            if n not in ("trace", "doctor", "bench", "sweep", "diffsweep")
+        )
         if "all" in args.experiments
         else args.experiments
     )
     for name in chosen:
-        start = time.time()
+        # Monotonic clock: time.time() can jump (NTP slew) mid-run and
+        # skew the reported per-experiment timings.
+        start = time.perf_counter()
         if args.json:
             if name not in ROW_PRODUCERS:
                 parser.error(f"{name} has no JSON row format")
             text = serialize.rows_to_json(ROW_PRODUCERS[name](args))
         else:
             text = EXPERIMENTS[name](args)
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         print(text)
         if not args.json:
             print(f"[{name}: {elapsed:.1f}s, preset={args.preset}]")

@@ -6,12 +6,20 @@ field, or run-config knob across a set of values and collect one
 :class:`SweepPoint` per value.  Used programmatically and by the
 ``sweep`` CLI verb.
 
+Sweep points are independent deterministic simulations, so both sweep
+functions accept ``jobs`` and fan the runs out through
+:mod:`repro.experiments.pool`; results are assembled in value order and
+are bit-identical to a ``jobs=1`` run.  The serial reference runs are
+memoized by their *effective* serial parameters — sweeping a field the
+serial scenario cannot see (e.g. ``num_processors``) runs the baseline
+exactly once instead of once per point.
+
 Example::
 
     from repro.experiments.sweeps import sweep_machine
     points = sweep_machine(
         loop, "contention.directory_occupancy", [0, 8, 16, 32],
-        scenario=Scenario.IDEAL,
+        scenario=Scenario.IDEAL, jobs=4,
     )
 """
 
@@ -20,10 +28,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..obs.bus import EventBus
+from ..obs.provenance import fingerprint
 from ..params import MachineParams, default_params
 from ..runtime.driver import (
     RunConfig,
     RunResult,
+    _serial_params,
     run_hw,
     run_ideal,
     run_serial,
@@ -31,6 +42,7 @@ from ..runtime.driver import (
 )
 from ..trace.loop import Loop
 from ..types import Scenario
+from .pool import PoolTask, run_tasks
 
 RUNNERS: Dict[Scenario, Callable[..., RunResult]] = {
     Scenario.SERIAL: lambda loop, params, config: run_serial(loop, params, config),
@@ -66,6 +78,28 @@ def _replace_path(obj: Any, path: str, value: Any) -> Any:
     return dataclasses.replace(obj, **{head: value})
 
 
+def _run_point(
+    scenario: Scenario,
+    loop: Loop,
+    params: MachineParams,
+    config: Optional[RunConfig],
+) -> RunResult:
+    """One sweep sample; module-level so pool workers can pickle it."""
+    return RUNNERS[scenario](loop, params, config)
+
+
+def _serial_key(params: MachineParams, config: Optional[RunConfig]) -> str:
+    """Identity of the serial baseline a point run compares against.
+
+    ``run_serial`` collapses the machine to one processor, so two
+    points whose params differ only in fields that collapse away (e.g.
+    ``num_processors``) share one baseline; the engine is the only
+    config knob the serial scenario's timing can see.
+    """
+    engine = config.engine if config is not None else "scalar"
+    return fingerprint({"params": _serial_params(params), "engine": engine})
+
+
 def sweep_machine(
     loop: Loop,
     field_path: str,
@@ -74,26 +108,56 @@ def sweep_machine(
     base_params: Optional[MachineParams] = None,
     config: Optional[RunConfig] = None,
     relative_to_serial: bool = True,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    bus: Optional[EventBus] = None,
 ) -> List[SweepPoint]:
     """Sweep a (possibly nested) MachineParams field.
 
     ``field_path`` is dotted, e.g. ``"contention.directory_occupancy"``
     or ``"num_processors"``.  When ``relative_to_serial`` is set, each
-    point also runs the Serial scenario at the same parameters so
-    ``point.speedup`` is meaningful.
+    point also gets a Serial reference run at the same parameters (and
+    the same config), memoized across points with identical effective
+    serial parameters, so ``point.speedup`` is meaningful.  ``jobs``
+    fans the runs out across processes (see module docstring).
     """
     base = base_params or default_params()
     config = config or RunConfig()
-    runner = RUNNERS[scenario]
-    points: List[SweepPoint] = []
-    for value in values:
-        params = _replace_path(base, field_path, value)
-        result = runner(loop, params, config)
-        serial_wall = None
-        if relative_to_serial and scenario is not Scenario.SERIAL:
-            serial_wall = run_serial(loop, params).wall
-        points.append(SweepPoint(value=value, result=result, serial_wall=serial_wall))
-    return points
+    point_params = [_replace_path(base, field_path, value) for value in values]
+
+    need_serial = relative_to_serial and scenario is not Scenario.SERIAL
+    serial_keys: List[str] = []
+    serial_reps: Dict[str, MachineParams] = {}
+    if need_serial:
+        for params in point_params:
+            key = _serial_key(params, config)
+            serial_keys.append(key)
+            serial_reps.setdefault(key, params)
+
+    tasks = [
+        PoolTask(_run_point, (scenario, loop, params, config),
+                 label=f"{field_path}={value}")
+        for value, params in zip(values, point_params)
+    ]
+    serial_order = list(serial_reps)
+    tasks.extend(
+        PoolTask(_run_point, (Scenario.SERIAL, loop, serial_reps[key], config),
+                 label=f"serial:{key[:12]}")
+        for key in serial_order
+    )
+    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
+
+    serial_walls = {
+        key: outputs[len(values) + j].wall for j, key in enumerate(serial_order)
+    }
+    return [
+        SweepPoint(
+            value=value,
+            result=outputs[i],
+            serial_wall=serial_walls[serial_keys[i]] if need_serial else None,
+        )
+        for i, value in enumerate(values)
+    ]
 
 
 def sweep_config(
@@ -102,16 +166,31 @@ def sweep_config(
     values: Sequence[Any],
     scenario: Scenario = Scenario.HW,
     params: Optional[MachineParams] = None,
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    bus: Optional[EventBus] = None,
 ) -> List[SweepPoint]:
-    """Sweep a RunConfig-valued knob (scheduling, chunk size, flags)."""
+    """Sweep a RunConfig-valued knob (scheduling, chunk size, flags).
+
+    ``make_config`` is called once per value *in the calling process*;
+    the resulting configs travel to the workers as plain data.
+    """
     params = params or default_params()
-    runner = RUNNERS[scenario]
-    serial_wall = run_serial(loop, params).wall
-    points: List[SweepPoint] = []
-    for value in values:
-        result = runner(loop, params, make_config(value))
-        points.append(SweepPoint(value=value, result=result, serial_wall=serial_wall))
-    return points
+    tasks = [
+        PoolTask(_run_point, (scenario, loop, params, make_config(value)),
+                 label=f"config={value}")
+        for value in values
+    ]
+    tasks.append(
+        PoolTask(_run_point, (Scenario.SERIAL, loop, params, None),
+                 label="serial")
+    )
+    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
+    serial_wall = outputs[-1].wall
+    return [
+        SweepPoint(value=value, result=outputs[i], serial_wall=serial_wall)
+        for i, value in enumerate(values)
+    ]
 
 
 def format_sweep(points: Sequence[SweepPoint], label: str = "value") -> str:

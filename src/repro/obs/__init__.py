@@ -26,6 +26,10 @@ from .events import (
     FailureEvent,
     PhaseBeginEvent,
     PhaseEndEvent,
+    PoolEndEvent,
+    PoolStartEvent,
+    PoolTaskEvent,
+    PoolWorkerFailureEvent,
     ProtocolMessageEvent,
     QuiesceEvent,
     RestoreEvent,
@@ -73,6 +77,10 @@ __all__ = [
     "PhaseEndEvent",
     "AbortEvent",
     "RestoreEvent",
+    "PoolStartEvent",
+    "PoolTaskEvent",
+    "PoolWorkerFailureEvent",
+    "PoolEndEvent",
     "InvariantViolation",
     "Monitor",
     "MonitorSuite",

@@ -15,11 +15,15 @@ sim        :class:`BarrierWaitEvent`, :class:`EpochSyncEvent`,
 runtime    :class:`RunStartEvent`, :class:`RunEndEvent`,
            :class:`PhaseBeginEvent`, :class:`PhaseEndEvent`,
            :class:`AbortEvent`, :class:`RestoreEvent`
+pool       :class:`PoolStartEvent`, :class:`PoolTaskEvent`,
+           :class:`PoolWorkerFailureEvent`, :class:`PoolEndEvent`
 ========== ======================================================
 
 Events are plain data: they carry no behavior and no references into
 the machine, so they can be buffered, serialized and compared freely.
-``time`` is always the simulated cycle at which the event happened.
+``time`` is always the simulated cycle at which the event happened —
+except for the ``pool`` subsystem, which describes host-side experiment
+fan-out and carries host seconds since the pool started instead.
 """
 
 from __future__ import annotations
@@ -48,6 +52,10 @@ __all__ = [
     "PhaseEndEvent",
     "AbortEvent",
     "RestoreEvent",
+    "PoolStartEvent",
+    "PoolTaskEvent",
+    "PoolWorkerFailureEvent",
+    "PoolEndEvent",
 ]
 
 
@@ -300,3 +308,60 @@ class RestoreEvent(Event):
     name = "restore"
 
     duration: float
+
+
+# ----------------------------------------------------------------------
+# pool (host-side parallel experiment execution)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class PoolStartEvent(Event):
+    """A process-pool fan-out of independent simulation runs started.
+
+    ``time`` (and all pool events') is host seconds since the pool
+    started, not simulated cycles.
+    """
+
+    subsystem = "pool"
+    name = "pool-start"
+
+    jobs: int
+    tasks: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolTaskEvent(Event):
+    """One pool task completed (in a worker or degraded to inline)."""
+
+    subsystem = "pool"
+    name = "pool-task"
+
+    index: int
+    label: str
+    attempts: int
+    inline: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolWorkerFailureEvent(Event):
+    """A pool task could not complete in a worker on this attempt."""
+
+    subsystem = "pool"
+    name = "pool-worker-failure"
+
+    index: int
+    label: str
+    #: "timeout", "worker-died", "unpicklable" or "task-error"
+    kind: str
+    attempt: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolEndEvent(Event):
+    """The pool drained: every task produced a result (or raised)."""
+
+    subsystem = "pool"
+    name = "pool-end"
+
+    completed: int
+    failures: int
+    inline_tasks: int

@@ -24,17 +24,23 @@ reproduces with one line::
     python -m repro.testing.diffcheck --seed 12345 --verbose
 
 ``tests/test_differential.py`` sweeps seeds 0..N (N >= 200) through
-:func:`check_seed`.
+:func:`check_seed`.  :func:`run_seeds` fans a seed batch out across
+worker processes (``--jobs`` on the CLI); every case is derived purely
+from its seed, so the parallel sweep's verdicts are bit-identical to
+the serial sweep's and each failure still carries its one-line repro.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..experiments.pool import PoolTask, run_tasks
 
 from ..params import MachineParams, default_params, small_test_params
 from ..runtime.driver import RunConfig, RunResult, run_hw
@@ -283,18 +289,57 @@ def _diff_keys(scalar_sig: dict, batch_sig: dict) -> List[str]:
     return lines
 
 
+def _mismatch_message(case: CaseSpec, scalar_sig: dict, batch_sig: dict) -> str:
+    detail = "\n".join(_diff_keys(scalar_sig, batch_sig))
+    return (
+        f"scalar/batch divergence on {case.describe()}\n{detail}\n"
+        f"reproduce: python -m repro.testing.diffcheck --seed {case.seed} --verbose"
+    )
+
+
 def check_seed(seed: int) -> CaseSpec:
     """Build, run and compare one seed; raise :class:`DiffMismatch` with
     a one-line repro on any disagreement."""
     case = build_case(seed)
     scalar_sig, batch_sig = run_case(case)
     if scalar_sig != batch_sig:
-        detail = "\n".join(_diff_keys(scalar_sig, batch_sig))
-        raise DiffMismatch(
-            f"scalar/batch divergence on {case.describe()}\n{detail}\n"
-            f"reproduce: python -m repro.testing.diffcheck --seed {seed} --verbose"
-        )
+        raise DiffMismatch(_mismatch_message(case, scalar_sig, batch_sig))
     return case
+
+
+def seed_verdict(seed: int) -> Dict[str, object]:
+    """One seed's sweep record, as plain data (pool-task friendly).
+
+    Keys: ``seed``, ``describe``, ``conforms`` (the engines agree),
+    ``passed`` (the scalar run's verdict), and — on a mismatch only —
+    ``message`` carrying the detail plus the one-line repro.
+    """
+    case = build_case(seed)
+    scalar_sig, batch_sig = run_case(case)
+    verdict: Dict[str, object] = {
+        "seed": seed,
+        "describe": case.describe(),
+        "conforms": scalar_sig == batch_sig,
+        "passed": bool(scalar_sig["passed"]),
+    }
+    if not verdict["conforms"]:
+        verdict["message"] = _mismatch_message(case, scalar_sig, batch_sig)
+    return verdict
+
+
+def run_seeds(
+    seeds: Sequence[int],
+    jobs: int = 1,
+    timeout: Optional[float] = None,
+    bus=None,
+) -> List[Dict[str, object]]:
+    """Sweep ``seeds`` through :func:`seed_verdict`, fanning out across
+    ``jobs`` worker processes; verdicts come back in seed order and are
+    identical to a serial sweep of the same seeds."""
+    tasks = [
+        PoolTask(seed_verdict, (seed,), label=f"seed:{seed}") for seed in seeds
+    ]
+    return run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
 
 
 # ----------------------------------------------------------------------
@@ -317,6 +362,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--verbose", action="store_true", help="print each case description"
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sweep (0 = one per core); "
+        "verdicts are identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-seed timeout in seconds before the worker is retried",
+    )
+    parser.add_argument(
+        "--verdicts-out", default=None,
+        help="write per-seed {conforms, passed} verdicts as JSON (the "
+        "CI parallel-conformance job diffs this against the committed "
+        "serial baseline)",
+    )
     args = parser.parse_args(argv)
 
     seeds = (
@@ -324,17 +384,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.seed is not None
         else list(range(args.start, args.start + args.count))
     )
+    verdicts = run_seeds(seeds, jobs=args.jobs, timeout=args.timeout)
     failures = 0
-    for seed in seeds:
-        try:
-            case = check_seed(seed)
-        except DiffMismatch as exc:
+    for verdict in verdicts:
+        if not verdict["conforms"]:
             failures += 1
-            print(f"FAIL {exc}")
-        else:
-            if args.verbose:
-                print(f"ok   {case.describe()}")
+            print(f"FAIL {verdict['message']}")
+        elif args.verbose:
+            print(f"ok   {verdict['describe']}")
     print(f"{len(seeds) - failures}/{len(seeds)} cases conform")
+    if args.verdicts_out:
+        doc = {
+            "harness": "diffcheck",
+            "seeds": [seeds[0], seeds[-1]] if seeds else [],
+            "verdicts": {
+                str(v["seed"]): {"conforms": v["conforms"], "passed": v["passed"]}
+                for v in verdicts
+            },
+        }
+        with open(args.verdicts_out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.verdicts_out}")
     return 1 if failures else 0
 
 

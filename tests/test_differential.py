@@ -24,6 +24,8 @@ from repro.testing.diffcheck import (
     build_case,
     check_seed,
     run_case,
+    run_seeds,
+    seed_verdict,
 )
 from repro.types import ProtocolKind
 
@@ -100,6 +102,50 @@ def test_mismatch_message_carries_the_repro_line(monkeypatch):
     message = str(excinfo.value)
     assert "python -m repro.testing.diffcheck --seed 777" in message
     assert "wall" in message
+
+
+def test_parallel_seed_sweep_matches_serial():
+    """The pooled sweep (jobs=4) must return verdicts bit-identical to
+    the serial sweep of the same seeds, in seed order (ISSUE 5)."""
+    seeds = list(range(12))
+    serial = run_seeds(seeds, jobs=1)
+    pooled = run_seeds(seeds, jobs=4)
+    assert serial == pooled
+    assert [v["seed"] for v in pooled] == seeds
+
+
+def test_seed_verdict_preserves_the_repro_line(monkeypatch):
+    """A mismatching seed's verdict must carry the one-line repro, so
+    parallel sweeps lose nothing over the serial FAIL output."""
+    real_run_case = diffcheck.run_case
+
+    def corrupted(case):
+        scalar_sig, batch_sig = real_run_case(case)
+        batch_sig = dict(batch_sig)
+        batch_sig["wall"] = scalar_sig["wall"] + 1
+        return scalar_sig, batch_sig
+
+    monkeypatch.setattr(diffcheck, "run_case", corrupted)
+    verdict = seed_verdict(42)
+    assert not verdict["conforms"]
+    assert "python -m repro.testing.diffcheck --seed 42" in verdict["message"]
+
+
+def test_diffcheck_cli_jobs_and_verdicts_out(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "verdicts.json"
+    code = diffcheck.main(
+        ["--count", "4", "--jobs", "2", "--verdicts-out", str(out)]
+    )
+    assert code == 0
+    assert "4/4 cases conform" in capsys.readouterr().out
+    doc = json.loads(out.read_text())
+    assert doc["harness"] == "diffcheck"
+    assert set(doc["verdicts"]) == {"0", "1", "2", "3"}
+    for verdict in doc["verdicts"].values():
+        assert verdict["conforms"] is True
+        assert isinstance(verdict["passed"], bool)
 
 
 def test_signature_includes_directory_state():

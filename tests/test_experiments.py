@@ -217,6 +217,44 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "wrote" in out and "batch/scalar bare speedup" in out
 
+    def test_cli_bench_parallel_cells(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "bench_jobs.json"
+        assert main(["bench", "--bench-out", str(out_path),
+                     "--bench-reps", "1", "--jobs", "2"]) == 0
+        doc = json.loads(out_path.read_text())
+        assert set(doc["engines"]) == {"scalar", "batch"}
+        for levels in doc["engines"].values():
+            assert levels["bare"]["iters_per_s"] > 0
+
+    def test_cli_sweep_smoke(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["sweep", "--workload", "Track",
+                     "--sweep-field", "num_processors",
+                     "--sweep-values", "2,4", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: num_processors" in out
+        assert "speedup" in out
+
+    def test_cli_diffsweep_smoke(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["diffsweep", "--diff-count", "5", "--jobs", "2"]) == 0
+        assert "5/5 cases conform" in capsys.readouterr().out
+
+    def test_cli_sweep_diffsweep_not_in_all(self):
+        # "all" regenerates tables/figures only; the parameterized
+        # exploration verbs must stay explicit-only.
+        import repro.experiments.cli as cli
+
+        assert {"sweep", "diffsweep", "bench", "trace", "doctor"} <= set(
+            cli.EXPERIMENTS
+        )
+
 
 class TestBenchDiff:
     @staticmethod
