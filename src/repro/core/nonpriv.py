@@ -575,3 +575,47 @@ class BatchNonPrivProtocol(NonPrivProtocol):
             self._merge_word(
                 proc, entry, base_index + k, own, privs[k], ronly, now
             )
+
+
+# ----------------------------------------------------------------------
+# Whole-phase kernel (the vector engine)
+# ----------------------------------------------------------------------
+def nonpriv_vector_verdict(
+    procs, elems, writes, length: int
+) -> "Tuple[bool, object, object, object]":
+    """Fold the whole loop's non-privatization test into reductions.
+
+    ``procs``/``elems``/``writes`` are one row per access to the array
+    (meta-element indexes in the per-line-bit mode), in per-processor
+    program order.  The element-wise FAIL condition of §3.2 — neither
+    read-only nor accessed by a single processor — reduces to *touched
+    by two or more distinct processors and written at least once*; the
+    scalar protocol detects exactly those elements, through whichever of
+    the Fig 6/7 paths the interleaving takes (tag check, directory
+    check, First_update race or writeback merge at the loop-end commit).
+
+    Returns ``(passed, first, priv, ronly)`` where the three arrays are
+    the directory-table end state for a passing run: ``first`` is the
+    processor of each element's earliest access in row order, ``priv``
+    marks written elements and ``ronly`` elements read by two or more
+    processors.  (On FAIL the vector tier re-runs the case op-by-op for
+    exact attribution, so the fill arrays are unused.)
+    """
+    import numpy as np
+
+    from .accessbits import distinct_procs, scatter_or
+
+    nproc = distinct_procs(procs, elems, length)
+    written = scatter_or(elems[writes], length)
+    passed = not bool(((nproc >= 2) & written).any())
+    first = np.full(length, NO_PROC, dtype=np.int32)
+    if len(elems):
+        n = len(elems)
+        order = np.lexsort((np.arange(n), elems))
+        e = elems[order]
+        head = np.empty(n, dtype=bool)
+        head[0] = True
+        head[1:] = e[1:] != e[:-1]
+        first[e[head]] = procs[order[head]]
+    ronly = (nproc >= 2) & ~written
+    return passed, first, written, ronly

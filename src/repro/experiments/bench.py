@@ -1,11 +1,16 @@
 """The ``bench`` subcommand: simulator-throughput regression harness.
 
 Measures host wall-clock time of one representative speculative run
-across the full engine x instrumentation matrix — both execution
-engines (``scalar``, the reference, and ``batch``, the fast path) under
-three instrumentation levels: bare (no bus attached), telemetry (full
+across the full engine x instrumentation matrix — all three execution
+engines (``scalar``, the reference; ``batch``, the bit-identical fast
+path; ``vector``, the whole-phase numpy kernel tier) under three
+instrumentation levels: bare (no bus attached), telemetry (full
 event recording) and monitors (invariant monitors + forensics
-recorder).  Repetitions are interleaved so host-load drift hits every
+recorder).  Every cell runs under the same static-chunk schedule: the
+vector tier delegates dynamic schedules to the batch engine, so a
+dynamic-schedule "vector" cell would silently measure batch — and the
+scalar/batch cells must share the schedule for the columns to be
+comparable.  Repetitions are interleaved so host-load drift hits every
 cell equally, and the result is a machine-readable JSON document::
 
     {
@@ -16,7 +21,8 @@ cell equally, and the result is a machine-readable JSON document::
         "scalar": {"bare": {"best_s": ..., "iters_per_s": ...},
                    "telemetry": {"best_s": ..., "overhead_pct": ...},
                    "monitors":  {"best_s": ..., "overhead_pct": ...}},
-        "batch":  {...}
+        "batch":  {...},
+        "vector": {...}
       },
       "bare": {...}, "telemetry": {...}, "monitors": {...},   # scalar
       "provenance": {"config_hash": ..., "code_version": ...}
@@ -25,7 +31,7 @@ cell equally, and the result is a machine-readable JSON document::
 The top-level ``bare``/``telemetry``/``monitors`` keys mirror the
 scalar engine for continuity with the PR3-era document shape.  The CI
 perf job runs this, diffs ``iters_per_s`` per cell against the
-committed baseline (``BENCH_PR4.json``) and warns — non-gating — on a
+committed baseline (``BENCH_PR6.json``) and warns — non-gating — on a
 >15% drop; the hard <3% telemetry-off gate lives in
 ``benchmarks/bench_simulator_throughput.py`` and is unaffected.
 
@@ -46,14 +52,26 @@ from typing import Callable, Dict, List, Tuple
 from ..obs import MonitorSuite, Telemetry
 from ..params import small_test_params
 from ..runtime.driver import RunConfig, run_hw
+from ..runtime.schedule import SchedulePolicy, ScheduleSpec
 from ..workloads.synthetic import parallel_nonpriv_loop
 from .pool import PoolTask, run_tasks
 
 BENCH_ITERATIONS = 48
 BENCH_ELEMENTS = 1024
 BENCH_PROCESSORS = 4
-ENGINES = ("scalar", "batch")
+ENGINES = ("scalar", "batch", "vector")
 LEVELS = ("bare", "telemetry", "monitors")
+
+
+def _bench_config(engine: str, **extra) -> RunConfig:
+    # Static-chunk for every cell: the vector tier only has a fast path
+    # for static schedules (dynamic delegates to batch), and all engines
+    # must run the same schedule for cross-engine columns to compare.
+    return RunConfig(
+        engine=engine,
+        schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
+        **extra,
+    )
 
 
 def _measure(fn: Callable[[], object]) -> float:
@@ -71,12 +89,12 @@ def _make_bench_workload():
 
 def _run_cell(engine: str, level: str, loop, params) -> None:
     if level == "bare":
-        run_hw(loop, params, RunConfig(engine=engine))
+        run_hw(loop, params, _bench_config(engine))
     elif level == "telemetry":
-        run_hw(loop, params, RunConfig(engine=engine, telemetry=Telemetry()))
+        run_hw(loop, params, _bench_config(engine, telemetry=Telemetry()))
     else:
         result = run_hw(
-            loop, params, RunConfig(engine=engine, monitors=MonitorSuite())
+            loop, params, _bench_config(engine, monitors=MonitorSuite())
         )
         assert result.violations == []
 
@@ -98,7 +116,7 @@ def _bench_cell_times(engine: str, level: str, reps: int) -> List[float]:
             gc.enable()
 
 
-def run_bench(out: str = "BENCH_PR4.json", reps: int = 7, jobs: int = 1) -> str:
+def run_bench(out: str = "BENCH_PR6.json", reps: int = 7, jobs: int = 1) -> str:
     loop, params = _make_bench_workload()
     cells: List[Tuple[str, str]] = [
         (engine, level) for engine in ENGINES for level in LEVELS
@@ -151,7 +169,7 @@ def run_bench(out: str = "BENCH_PR4.json", reps: int = 7, jobs: int = 1) -> str:
         engine: {level: _cell_doc(engine, level) for level in LEVELS}
         for engine in ENGINES
     }
-    provenance = run_hw(loop, params, RunConfig()).provenance
+    provenance = run_hw(loop, params, _bench_config("scalar")).provenance
     doc = {
         "benchmark": "simulator-throughput",
         "workload": {
@@ -172,7 +190,6 @@ def run_bench(out: str = "BENCH_PR4.json", reps: int = 7, jobs: int = 1) -> str:
         json.dump(doc, fh, indent=2)
         fh.write("\n")
 
-    speedup = best[("scalar", "bare")] / best[("batch", "bare")]
     lines = [
         f"bench: {loop.name} on {BENCH_PROCESSORS} procs, best of {reps}",
     ]
@@ -184,6 +201,11 @@ def run_bench(out: str = "BENCH_PR4.json", reps: int = 7, jobs: int = 1) -> str:
             f"telemetry {e['telemetry']['overhead_pct']:+.1f}%  "
             f"monitors {e['monitors']['overhead_pct']:+.1f}%"
         )
-    lines.append(f"  batch/scalar bare speedup: {speedup:.2f}x")
+    lines.append(
+        "  bare speedups: "
+        f"batch/scalar {best[('scalar', 'bare')] / best[('batch', 'bare')]:.2f}x, "
+        f"vector/batch {best[('batch', 'bare')] / best[('vector', 'bare')]:.2f}x, "
+        f"vector/scalar {best[('scalar', 'bare')] / best[('vector', 'bare')]:.2f}x"
+    )
     lines.append(f"wrote {out}")
     return "\n".join(lines)

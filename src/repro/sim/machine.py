@@ -29,8 +29,10 @@ class Machine:
         with_speculation: bool = True,
         engine: str = "scalar",
     ) -> None:
-        if engine not in ("scalar", "batch"):
-            raise ValueError(f"unknown engine {engine!r}: use 'scalar' or 'batch'")
+        if engine not in ("scalar", "batch", "vector"):
+            raise ValueError(
+                f"unknown engine {engine!r}: use 'scalar', 'batch' or 'vector'"
+            )
         self.params = params
         self.engine_mode = engine
         self.space = space or AddressSpace(
@@ -41,7 +43,10 @@ class Machine:
         self.engine = Engine(self.memsys, self.space, spec=None)
         #: telemetry bus (repro.obs.EventBus), wired by attach_bus()
         self.bus = None
-        if engine == "batch":
+        # The vector tier runs every phase it executes op-by-op (backup,
+        # copy-out, aggregate segments) through the batch fast path; the
+        # whole-phase kernels live above the machine, in runtime/vector.
+        if engine in ("batch", "vector"):
             for proc in self.engine.processors:
                 proc.fast = True
         if with_speculation:
@@ -49,7 +54,7 @@ class Machine:
                 params,
                 self.space,
                 scheduler=self.engine.message_scheduler,
-                batch=(engine == "batch"),
+                batch=(engine in ("batch", "vector")),
             )
             self.spec.attach(self.memsys)
             self.spec.ctx.clock = self.engine

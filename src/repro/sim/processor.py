@@ -144,6 +144,20 @@ class BusyCostOp:
     cycles: int
 
 
+@dataclasses.dataclass(frozen=True)
+class AggregateCostOp:
+    """Precomputed cost of a whole run of ops (the vector engine).
+
+    The vector tier replays an entire epoch segment of a processor's
+    loop work as one op carrying the Busy and Mem cycles its ops would
+    have charged.  No shared side effects: memory-system and protocol
+    state for the segment are installed in bulk by the vector kernels,
+    so the op only advances the clock and the stat buckets."""
+
+    busy: float
+    mem: float
+
+
 class Processor:
     """One simulated processor: pulls ops, issues memory accesses."""
 
@@ -277,6 +291,11 @@ class Processor:
             if isinstance(op, BusyCostOp):
                 self.stats.busy += op.cycles
                 t += op.cycles
+                continue
+            if isinstance(op, AggregateCostOp):
+                self.stats.busy += op.busy
+                self.stats.mem += op.mem
+                t += op.busy + op.mem
                 continue
             if isinstance(op, SyncCostOp):
                 self.stats.sync += op.cycles
@@ -442,6 +461,11 @@ class Processor:
             if cls is BusyCostOp:
                 stats.busy += op.cycles
                 t += op.cycles
+                continue
+            if cls is AggregateCostOp:
+                stats.busy += op.busy
+                stats.mem += op.mem
+                t += op.busy + op.mem
                 continue
             if cls is SyncCostOp:
                 stats.sync += op.cycles

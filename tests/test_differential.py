@@ -1,15 +1,17 @@
-"""Differential conformance suite: scalar engine vs batch engine.
+"""Differential conformance suite: scalar vs batch vs vector engine.
 
-Sweeps seeded randomized cases through ``repro.testing.diffcheck`` and
-requires the two execution engines to agree on *everything* the
+Sweeps seeded randomized cases through ``repro.testing.diffcheck``.
+The batch engine must agree with scalar on *everything* the full
 conformance contract covers: verdict, failure attribution, detection
 cycle, timing surface, memory counters, assignment, the speculation
-element-state tables and the coherence-directory end-state.
+element-state tables and the coherence-directory end-state.  The
+vector tier is held to the relaxed ``verdict`` signature (pass/fail,
+failure attribution, detection cycle, assignment) over the same corpus.
 
 Any mismatch raises ``DiffMismatch`` whose message embeds the failing
-seed and the one-line repro::
+seed, engine and signature mode, and the one-line repro::
 
-    python -m repro.testing.diffcheck --seed <N> --verbose
+    python -m repro.testing.diffcheck --seed <N> --engine <E> --verbose
 """
 
 from __future__ import annotations
@@ -26,6 +28,8 @@ from repro.testing.diffcheck import (
     run_case,
     run_seeds,
     seed_verdict,
+    signature_mode_of,
+    verdict_signature,
 )
 from repro.types import ProtocolKind
 
@@ -90,8 +94,8 @@ def test_mismatch_message_carries_the_repro_line(monkeypatch):
     """A divergence must print the failing seed for one-line repro."""
     real_run_case = diffcheck.run_case
 
-    def corrupted(case):
-        scalar_sig, batch_sig = real_run_case(case)
+    def corrupted(case, engine="batch"):
+        scalar_sig, batch_sig = real_run_case(case, engine)
         batch_sig = dict(batch_sig)
         batch_sig["wall"] = scalar_sig["wall"] + 1
         return scalar_sig, batch_sig
@@ -100,7 +104,8 @@ def test_mismatch_message_carries_the_repro_line(monkeypatch):
     with pytest.raises(DiffMismatch) as excinfo:
         diffcheck.check_seed(777)
     message = str(excinfo.value)
-    assert "python -m repro.testing.diffcheck --seed 777" in message
+    assert "python -m repro.testing.diffcheck --seed 777 --engine batch" in message
+    assert "signature mode: full" in message
     assert "wall" in message
 
 
@@ -119,8 +124,8 @@ def test_seed_verdict_preserves_the_repro_line(monkeypatch):
     parallel sweeps lose nothing over the serial FAIL output."""
     real_run_case = diffcheck.run_case
 
-    def corrupted(case):
-        scalar_sig, batch_sig = real_run_case(case)
+    def corrupted(case, engine="batch"):
+        scalar_sig, batch_sig = real_run_case(case, engine)
         batch_sig = dict(batch_sig)
         batch_sig["wall"] = scalar_sig["wall"] + 1
         return scalar_sig, batch_sig
@@ -160,6 +165,61 @@ def test_signature_includes_directory_state():
     )
     assert tables, "no element-state table captured"
     assert scalar_sig == batch_sig
+
+
+# ----------------------------------------------------------------------
+# Three-way conformance: scalar / batch / vector (ISSUE 6)
+# ----------------------------------------------------------------------
+class TestThreeWayConformance:
+    """The vector tier's contract over the same fixed 240-seed corpus:
+    batch stays bit-identical to scalar (full signature), vector agrees
+    on the relaxed verdict signature — pass/fail, failure attribution,
+    detection cycle, iteration assignment."""
+
+    @pytest.mark.parametrize("base", [g * GROUP for g in range(GROUPS)])
+    def test_vector_verdict_sweep(self, base):
+        for seed in range(base, base + GROUP):
+            check_seed(seed, engine="vector")
+
+    def test_three_way_agreement(self):
+        """One explicit three-way check: both candidate engines compared
+        against the same scalar reference run, each under its mode."""
+        for seed in (0, 3, 7, 11, 19):
+            case = build_case(seed)
+            scalar_sig, batch_sig = run_case(case, engine="batch")
+            scalar_again, vector_sig = run_case(case, engine="vector")
+            assert scalar_sig == batch_sig
+            assert scalar_sig == scalar_again
+            assert verdict_signature(vector_sig) == verdict_signature(scalar_sig)
+
+    def test_signature_modes(self):
+        assert signature_mode_of("batch") == "full"
+        assert signature_mode_of("scalar") == "full"
+        assert signature_mode_of("vector") == "verdict"
+
+    def test_verdict_signature_is_a_strict_projection(self):
+        scalar_sig, _ = run_case(build_case(5))
+        relaxed = verdict_signature(scalar_sig)
+        assert set(relaxed) == {
+            "passed", "failure", "detection_cycle", "assignment"
+        }
+        assert "wall" in scalar_sig and "wall" not in relaxed
+
+    def test_vector_mismatch_names_engine_and_mode(self, monkeypatch):
+        real_run_case = diffcheck.run_case
+
+        def corrupted(case, engine="batch"):
+            scalar_sig, other_sig = real_run_case(case, engine)
+            other_sig = dict(other_sig)
+            other_sig["passed"] = not other_sig["passed"]
+            return scalar_sig, other_sig
+
+        monkeypatch.setattr(diffcheck, "run_case", corrupted)
+        with pytest.raises(DiffMismatch) as excinfo:
+            diffcheck.check_seed(9, engine="vector")
+        message = str(excinfo.value)
+        assert "--seed 9 --engine vector" in message
+        assert "signature mode: verdict" in message
 
 
 # ----------------------------------------------------------------------

@@ -122,6 +122,119 @@ class TestEventBus:
         assert emitted and len(recorder) == len(emitted)
 
 
+class _Boom:
+    """Stand-in event class: any instantiation means an event object was
+    allocated on a path whose guard said no subscriber wanted it."""
+
+    def __init__(self, *args, **kwargs):
+        raise AssertionError("event allocated on a zero-subscriber path")
+
+
+class TestGuardedEmissionSites:
+    """Pin each guard class found by the EventBus call-site audit: the
+    event object must not even be *constructed* unless a subscriber of
+    that family exists (``wants_access`` / ``wants_dir`` / ``wants_spec``
+    / ``active``).  Each test booby-traps the event class and drives the
+    emission site with a bus that is active but does not want that
+    family; the control then subscribes and expects the trap to fire."""
+
+    def _machine_with_bus(self, bus):
+        m = Machine(small_test_params(2))
+        m.attach_bus(bus)
+        return m
+
+    def test_access_trace_sites_guard_on_wants_access(self, monkeypatch):
+        from repro.memsys import system as memsys_system
+
+        monkeypatch.setattr(memsys_system, "AccessEvent", _Boom)
+        bus = EventBus()
+        bus.subscribe(PhaseBeginEvent, lambda e: None)  # active, no access
+        assert bus.active and not bus.wants_access
+        m = self._machine_with_bus(bus)
+        a = m.space.allocate("A", 64, elem_bytes=8)
+        # L1 hit, L2/memory miss and write-buffer paths all pass their
+        # hoisted ``wants_access`` check without allocating.
+        m.memsys.read(0, a.addr_of(0), 0.0)
+        m.memsys.read(0, a.addr_of(0), 1.0)
+        m.memsys.write(0, a.addr_of(0), 2.0)
+        m.memsys.write(1, a.addr_of(8), 3.0)
+        # Control: an access subscriber re-arms allocation.
+        bus.subscribe(AccessEvent, lambda e: None)
+        with pytest.raises(AssertionError, match="zero-subscriber"):
+            m.memsys.read(0, a.addr_of(0), 4.0)
+
+    def test_dir_transition_sites_guard_on_wants_dir(self, monkeypatch):
+        from repro.memsys import system as memsys_system
+
+        monkeypatch.setattr(memsys_system, "DirTransitionEvent", _Boom)
+        bus = EventBus()
+        bus.subscribe(AccessEvent, lambda e: None)  # active, no dir
+        assert bus.active and not bus.wants_dir
+        m = self._machine_with_bus(bus)
+        a = m.space.allocate("A", 64, elem_bytes=8)
+        m.memsys.read(0, a.addr_of(0), 0.0)   # CLEAN fill
+        m.memsys.write(1, a.addr_of(0), 1.0)  # upgrade to DIRTY
+        m.engine.drain()
+        bus.subscribe(None, lambda e: None)
+        assert bus.wants_dir
+        with pytest.raises(AssertionError, match="zero-subscriber"):
+            m.memsys.read(0, a.addr_of(16), 2.0)
+            m.engine.drain()
+
+    def test_spec_dir_update_sites_guard_on_wants_spec(self, monkeypatch):
+        from repro.core import nonpriv as core_nonpriv
+
+        monkeypatch.setattr(core_nonpriv, "NonPrivDirUpdateEvent", _Boom)
+        bus = EventBus()
+        bus.subscribe(AccessEvent, lambda e: None)  # active, no spec
+        assert bus.active and not bus.wants_spec
+        m = self._machine_with_bus(bus)
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
+        m.spec.register_nonpriv(a)
+        m.spec.arm()
+        m.memsys.read(0, a.addr_of(3), 0.0)
+        m.engine.drain()
+        bus.subscribe(None, lambda e: None)
+        assert bus.wants_spec
+        with pytest.raises(AssertionError, match="zero-subscriber"):
+            m.memsys.read(1, a.addr_of(11), 1.0)
+            m.engine.drain()
+
+    def test_protocol_message_guard_on_active(self, monkeypatch):
+        from repro.core import context as core_context
+
+        monkeypatch.setattr(core_context, "ProtocolMessageEvent", _Boom)
+        bus = EventBus()  # attached but zero subscribers
+        m = self._machine_with_bus(bus)
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
+        m.spec.register_nonpriv(a)
+        m.spec.arm()
+        m.memsys.read(0, a.addr_of(3), 0.0)
+        # Clean-hit read: marks First locally and sends a deferred
+        # First_update — the message-log guard sees no subscriber.
+        m.memsys.read(0, a.addr_of(4), 1.0)
+        m.engine.drain()
+        bus.subscribe(None, lambda e: None)
+        with pytest.raises(AssertionError, match="zero-subscriber"):
+            m.memsys.read(0, a.addr_of(5), 2.0)
+            m.engine.drain()
+
+    def test_failure_event_guard_on_active(self, monkeypatch):
+        import repro.obs.events as obs_events
+
+        monkeypatch.setattr(obs_events, "FailureEvent", _Boom)
+        bus = EventBus()  # attached but zero subscribers
+        m = self._machine_with_bus(bus)
+        a = m.space.allocate("A", 64, elem_bytes=8, protocol=ProtocolKind.NONPRIV)
+        m.spec.register_nonpriv(a)
+        m.spec.arm()
+        m.memsys.read(0, a.addr_of(3), 0.0)
+        m.memsys.write(1, a.addr_of(3), 10.0)
+        m.engine.drain()
+        # The failure was detected without constructing a FailureEvent.
+        assert m.spec.controller.failed
+
+
 # ----------------------------------------------------------------------
 # BoundedLog / legacy trace classes as bus subscribers
 # ----------------------------------------------------------------------
