@@ -117,3 +117,49 @@ def test_telemetry_off_overhead_under_3_percent():
         f"telemetry-off overhead {overhead:.2%} "
         f"(baseline {baseline * 1e3:.2f}ms, bus {with_bus * 1e3:.2f}ms)"
     )
+
+
+def _measure_span_run(with_profiler: bool) -> float:
+    from repro.obs import spans
+    from repro.params import small_test_params
+    from repro.runtime.driver import RunConfig, run_hw
+    from repro.runtime.schedule import SchedulePolicy, ScheduleSpec
+    from repro.workloads.synthetic import parallel_nonpriv_loop
+
+    loop = parallel_nonpriv_loop("span-gate", elements=512, iterations=24)
+    config = RunConfig(
+        engine="batch",
+        schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
+    )
+    if with_profiler:
+        spans.install(spans.SpanProfiler())
+    try:
+        start = time.perf_counter()
+        run_hw(loop, small_test_params(4), config)
+        return time.perf_counter() - start
+    finally:
+        if with_profiler:
+            spans.uninstall()
+
+
+def test_span_null_path_overhead_under_3_percent():
+    """Acceptance smoke for the span profiler's null-path promise: a
+    coarse (``fine=False``) ambient profiler — the ``--profile-out``
+    configuration — costs < 3% over a run with no profiler installed.
+
+    With no profiler the instrumented sites reduce to one global read
+    and an is-None test; with a coarse profiler the hot batch loop only
+    bumps a counter per burst.  Same interleaved min-of-N discipline as
+    the telemetry gate above.
+    """
+    _measure_span_run(False)  # warm code paths
+    _measure_span_run(True)
+    bare, profiled = float("inf"), float("inf")
+    for _ in range(15):
+        bare = min(bare, _measure_span_run(False))
+        profiled = min(profiled, _measure_span_run(True))
+    overhead = profiled / bare - 1.0
+    assert overhead < 0.03, (
+        f"span overhead {overhead:.2%} "
+        f"(bare {bare * 1e3:.2f}ms, profiled {profiled * 1e3:.2f}ms)"
+    )

@@ -116,12 +116,25 @@ def _bench_cell_times(engine: str, level: str, reps: int) -> List[float]:
             gc.enable()
 
 
-def run_bench(out: str = "BENCH_PR6.json", reps: int = 7, jobs: int = 1) -> str:
+def run_bench(
+    out: str = "BENCH_PR6.json",
+    reps: int = 7,
+    jobs: int = 1,
+    profile=None,
+) -> str:
+    """Measure the matrix and write ``out``.
+
+    ``profile`` (a ``repro.obs.spans.ProfileSession``) routes every cell
+    through the pool with per-task capture — even at ``jobs=1`` — so a
+    merged trace shows where each cell's wall time goes.  Profiled cells
+    carry the capture's event-bus overhead; never use a profiled run to
+    regenerate a committed baseline document.
+    """
     loop, params = _make_bench_workload()
     cells: List[Tuple[str, str]] = [
         (engine, level) for engine in ENGINES for level in LEVELS
     ]
-    if jobs is not None and jobs != 1:
+    if (jobs is not None and jobs != 1) or profile is not None:
         outputs = run_tasks(
             [
                 PoolTask(_bench_cell_times, cell + (reps,),
@@ -129,6 +142,7 @@ def run_bench(out: str = "BENCH_PR6.json", reps: int = 7, jobs: int = 1) -> str:
                 for cell in cells
             ],
             jobs=jobs,
+            profile=profile,
         )
         times = dict(zip(cells, outputs))
     else:

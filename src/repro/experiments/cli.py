@@ -15,6 +15,7 @@ import time
 from typing import Callable, Dict, List
 
 from . import bench, charts, claims, doctor, figures, report, serialize, tracerun
+from . import profile as profilerun
 
 EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {}
 
@@ -98,8 +99,26 @@ def _doctor(args) -> str:
 
 @_register("bench")
 def _bench(args) -> str:
-    return bench.run_bench(out=args.bench_out, reps=args.bench_reps,
-                           jobs=args.jobs)
+    session = _profile_session(args, "bench")
+    text = bench.run_bench(out=args.bench_out, reps=args.bench_reps,
+                           jobs=args.jobs, profile=session)
+    return _with_profile(args, session, text)
+
+
+def _profile_session(args, label: str):
+    if not getattr(args, "profile_out", None):
+        return None
+    from ..obs.spans import ProfileSession
+
+    return ProfileSession(label=label)
+
+
+def _with_profile(args, session, text: str) -> str:
+    if session is None:
+        return text
+    return text + "\n" + profilerun.write_profile_outputs(
+        session, args.profile_out
+    )
 
 
 def _sweep_value(text: str):
@@ -123,6 +142,7 @@ def _sweep(args) -> str:
     workload = figures.make_workload(args.workload, args.preset, args.seed)
     loop = next(iter(workload.executions(1)))
     values = [_sweep_value(v) for v in args.sweep_values.split(",") if v]
+    session = _profile_session(args, f"sweep:{args.sweep_field}")
     points = sweep_machine(
         loop,
         args.sweep_field,
@@ -130,12 +150,14 @@ def _sweep(args) -> str:
         scenario=Scenario[args.sweep_scenario.upper()],
         base_params=default_params(workload.num_processors),
         jobs=args.jobs,
+        profile=session,
     )
     header = (
         f"sweep: {args.sweep_field} over {loop.name!r} "
         f"({args.sweep_scenario}, jobs={args.jobs})"
     )
-    return header + "\n" + format_sweep(points, label=args.sweep_field)
+    text = header + "\n" + format_sweep(points, label=args.sweep_field)
+    return _with_profile(args, session, text)
 
 
 @_register("diffsweep")
@@ -143,7 +165,8 @@ def _diffsweep(args) -> str:
     from ..testing.diffcheck import run_seeds
 
     seeds = list(range(args.diff_start, args.diff_start + args.diff_count))
-    verdicts = run_seeds(seeds, jobs=args.jobs)
+    session = _profile_session(args, "diffsweep")
+    verdicts = run_seeds(seeds, jobs=args.jobs, profile=session)
     lines = [
         f"FAIL {v['message']}" for v in verdicts if not v["conforms"]
     ]
@@ -151,7 +174,7 @@ def _diffsweep(args) -> str:
     lines.append(
         f"{conforming}/{len(seeds)} cases conform (jobs={args.jobs})"
     )
-    return "\n".join(lines)
+    return _with_profile(args, session, "\n".join(lines))
 
 
 @_register("trace")
@@ -161,6 +184,18 @@ def _trace(args) -> str:
         seed=args.seed,
         workload=args.workload,
         out=args.out,
+        profile_out=args.profile_out or "",
+    )
+
+
+@_register("profile")
+def _profile(args) -> str:
+    return profilerun.run_profile(
+        preset=args.preset,
+        seed=args.seed,
+        workload=args.workload,
+        out=args.profile_out or "repro-profile.json",
+        jobs=args.jobs,
     )
 
 
@@ -216,8 +251,14 @@ def main(argv: "List[str] | None" = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for sweep/bench/diffsweep (0 = one per "
-        "core); results are identical to --jobs 1",
+        help="worker processes for sweep/bench/diffsweep/profile (0 = "
+        "one per core); results are identical to --jobs 1",
+    )
+    parser.add_argument(
+        "--profile-out", default=None,
+        help="write a merged multi-process Chrome trace (spans + "
+        "rollup JSON next to it) for profile/sweep/bench/diffsweep/"
+        "trace; the profile verb defaults to repro-profile.json",
     )
     parser.add_argument(
         "--sweep-field", default="num_processors",
@@ -242,14 +283,15 @@ def main(argv: "List[str] | None" = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    # "all" regenerates every table/figure; trace and bench (which
-    # write files), doctor (a self-check, not an evaluation result) and
-    # the parameterized explorations (sweep, diffsweep) stay
-    # explicit-only.
+    # "all" regenerates every table/figure; trace, bench and profile
+    # (which write files), doctor (a self-check, not an evaluation
+    # result) and the parameterized explorations (sweep, diffsweep)
+    # stay explicit-only.
     chosen = (
         sorted(
             n for n in EXPERIMENTS
-            if n not in ("trace", "doctor", "bench", "sweep", "diffsweep")
+            if n not in ("trace", "doctor", "bench", "sweep", "diffsweep",
+                         "profile")
         )
         if "all" in args.experiments
         else args.experiments

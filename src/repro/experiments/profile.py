@@ -1,0 +1,117 @@
+"""The ``profile`` subcommand: a profiled pooled sweep across engine tiers.
+
+Runs a small matrix of speculative executions (every engine tier x a few
+repetitions) through the process pool with per-task profiling capture
+enabled, then writes:
+
+* one merged multi-track Chrome trace (``pid`` = worker process,
+  ``tid`` 0 = that process's spans, ``tid`` ``proc + 1`` = simulated
+  processors) — open in https://ui.perfetto.dev, and
+* a rollup JSON next to it (p50/p95 per-task wall, queue wait, worker
+  utilization, per-tier phase breakdown),
+
+and prints the rollup as text.  The same capture machinery is available
+on ``sweep`` / ``bench`` / ``diffsweep`` / ``trace`` via
+``--profile-out``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Any, Dict, Optional, Sequence
+
+from ..obs.export import _ensure_parent
+from ..obs.spans import ProfileSession
+from .pool import PoolTask, derive_seed, run_tasks
+
+#: one profiled run per (engine, rep) cell — small by design: the verb
+#: is a smoke-profile, not a benchmark
+PROFILE_ENGINES = ("scalar", "batch", "vector")
+PROFILE_REPS = 2
+
+
+def _profile_point(
+    workload_name: str, preset: str, seed: int, engine: str, rep: int
+) -> Dict[str, Any]:
+    """One profiled simulation run (module-level: pool-picklable).
+
+    The workload is rebuilt inside the worker from its name so the task
+    payload stays plain data.
+    """
+    from ..params import default_params
+    from ..runtime.driver import run_hw
+    from .figures import make_workload
+
+    w = make_workload(workload_name, preset, seed)
+    loop = next(iter(w.executions(1)))
+    params = default_params(w.num_processors)
+    config = dataclasses.replace(w.hw_config(), engine=engine)
+    result = run_hw(loop, params, config)
+    return {
+        "engine": engine,
+        "rep": rep,
+        "passed": result.passed,
+        "wall": result.wall,
+    }
+
+
+def write_profile_outputs(
+    session: ProfileSession,
+    out: str,
+    metadata: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Write the merged trace + rollup JSON; return a text summary."""
+    from .report import render_profile_rollup
+
+    doc = session.merged_trace(metadata=metadata)
+    _ensure_parent(out)
+    with open(out, "w") as fp:
+        json.dump(doc, fp)
+    rollup = session.rollup()
+    rollup_path = os.path.splitext(out)[0] + "-rollup.json"
+    with open(rollup_path, "w") as fp:
+        json.dump(rollup, fp, indent=2, sort_keys=True)
+    return "\n".join(
+        [
+            render_profile_rollup(rollup),
+            "",
+            f"wrote {out} ({len(doc['traceEvents'])} trace events) — open in "
+            "https://ui.perfetto.dev",
+            f"wrote {rollup_path}",
+        ]
+    )
+
+
+def run_profile(
+    preset: str = "quick",
+    seed: int = 2026,
+    workload: str = "Adm",
+    out: str = "repro-profile.json",
+    jobs: Optional[int] = 4,
+    engines: Sequence[str] = PROFILE_ENGINES,
+    reps: int = PROFILE_REPS,
+) -> str:
+    """Profile a small pooled sweep and write the merged trace + rollup."""
+    session = ProfileSession(label=f"profile:{workload}")
+    tasks = []
+    for engine in engines:
+        for rep in range(reps):
+            index = len(tasks)
+            tasks.append(
+                PoolTask(
+                    _profile_point,
+                    (workload, preset, seed, engine, rep),
+                    seed=derive_seed(seed, index),
+                    label=f"{engine}#{rep}",
+                )
+            )
+    results = run_tasks(tasks, jobs=jobs, profile=session)
+    ok = sum(1 for r in results if r and r["passed"])
+    header = (
+        f"profile: {workload} ({preset}) x {list(engines)} x {reps} reps, "
+        f"jobs={jobs} — {ok}/{len(results)} passed"
+    )
+    metadata = {"workload": workload, "preset": preset, "seed": seed}
+    return header + "\n" + write_profile_outputs(session, out, metadata=metadata)

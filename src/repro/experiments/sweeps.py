@@ -111,6 +111,7 @@ def sweep_machine(
     jobs: int = 1,
     timeout: Optional[float] = None,
     bus: Optional[EventBus] = None,
+    profile: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Sweep a (possibly nested) MachineParams field.
 
@@ -145,7 +146,12 @@ def sweep_machine(
                  label=f"serial:{key[:12]}")
         for key in serial_order
     )
-    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
+    if profile is not None and need_serial:
+        # Points sharing effective serial parameters reuse one memoized
+        # serial baseline run; surface the saving in the rollup.
+        profile.count("sweep.serial_memo_hits", len(values) - len(serial_order))
+    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus,
+                        profile=profile)
 
     serial_walls = {
         key: outputs[len(values) + j].wall for j, key in enumerate(serial_order)
@@ -169,6 +175,7 @@ def sweep_config(
     jobs: int = 1,
     timeout: Optional[float] = None,
     bus: Optional[EventBus] = None,
+    profile: Optional[Any] = None,
 ) -> List[SweepPoint]:
     """Sweep a RunConfig-valued knob (scheduling, chunk size, flags).
 
@@ -185,7 +192,8 @@ def sweep_config(
         PoolTask(_run_point, (Scenario.SERIAL, loop, params, None),
                  label="serial")
     )
-    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
+    outputs = run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus,
+                        profile=profile)
     serial_wall = outputs[-1].wall
     return [
         SweepPoint(value=value, result=outputs[i], serial_wall=serial_wall)

@@ -40,9 +40,12 @@ from .events import (
 from .export import (
     chrome_trace,
     event_to_dict,
+    merged_chrome_trace,
     phase_report,
+    span_trace_events,
     write_chrome_trace,
     write_jsonl,
+    write_merged_chrome_trace,
 )
 from .forensics import ForensicReport, MinimizedReproducer, build_report, element_trace
 from .metrics import Counter, Histogram, MetricsCollector, MetricsRegistry
@@ -56,6 +59,7 @@ from .monitor import (
     PrivSimpleMonitor,
 )
 from .provenance import RunProvenance, canonical_json, fingerprint, run_provenance
+from .spans import ProfileSession, SpanProfiler, WorkerCapture
 
 __all__ = [
     "Telemetry",
@@ -105,6 +109,12 @@ __all__ = [
     "write_jsonl",
     "event_to_dict",
     "phase_report",
+    "span_trace_events",
+    "merged_chrome_trace",
+    "write_merged_chrome_trace",
+    "SpanProfiler",
+    "WorkerCapture",
+    "ProfileSession",
 ]
 
 

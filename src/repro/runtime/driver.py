@@ -28,6 +28,7 @@ from ..obs.events import (
     RunEndEvent,
     RunStartEvent,
 )
+from ..obs import spans
 from ..obs.provenance import RunProvenance, run_provenance
 from ..params import MachineParams
 from ..sim.machine import Machine
@@ -123,6 +124,13 @@ def _engine_of(config: "Optional[RunConfig]") -> str:
 def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
     if config is not None and config.telemetry is not None:
         config.telemetry.attach(machine)
+    else:
+        # A profiling WorkerCapture installed around this task observes
+        # the run only when no explicit telemetry claimed the machine's
+        # bus — explicit telemetry always wins.
+        capture = spans.capture_current()
+        if capture is not None:
+            capture.attach(machine)
     if config is not None and config.monitors is not None:
         config.monitors.attach(machine)
     if config is not None and config.machine_hook is not None:
@@ -202,6 +210,13 @@ def _run_phase(
     bus = machine.bus
     if bus is not None and bus.active:
         bus.emit(PhaseBeginEvent(start, name))
+    prof = spans.current()
+    if prof is not None:
+        events0 = engine.events_processed
+        phase_span = prof.begin(
+            f"phase:{name}", cat="phase", sample=True,
+            phase=name, engine=machine.engine_mode,
+        )
     result = engine.run_phase(streams, start_time=start, abort_on_failure=abort_on_failure)
     finish = result.finish
     participants = result.participants()
@@ -211,6 +226,12 @@ def _run_phase(
     breakdown = TimeBreakdown.from_procs([result.per_proc[i] for i in participants])
     phases[name] = finish - start
     engine.now = finish
+    if prof is not None:
+        prof.end(
+            phase_span,
+            **{"engine.events": engine.events_processed - events0,
+               "sim.cycles": finish - start},
+        )
     if bus is not None and bus.active:
         bus.emit(PhaseEndEvent(finish, name, finish - start))
     return breakdown
@@ -324,6 +345,19 @@ def _append_failure_tail(
 
 
 def _begin_run(machine: Machine, scenario: Scenario, loop: Loop) -> None:
+    prof = spans.current()
+    if prof is not None:
+        # Hierarchy: run -> engine tier -> phase -> epoch.  The tier
+        # span groups the phase spans under the engine that ran them;
+        # _finish_run closes both (every driver exit goes through it).
+        run_span = prof.begin(
+            "run", cat="run", sample=True,
+            scenario=scenario.value, loop=loop.name,
+            engine=machine.engine_mode,
+            procs=machine.params.num_processors,
+        )
+        tier_span = prof.begin(f"engine:{machine.engine_mode}", cat="tier")
+        machine._prof_spans = (run_span, tier_span)
     bus = machine.bus
     if bus is not None and bus.active:
         bus.emit(
@@ -356,6 +390,13 @@ def _finish_run(
     bus = machine.bus
     if bus is not None and bus.active:
         bus.emit(RunEndEvent(machine.engine.now, result.passed, result.wall))
+    prof = spans.current()
+    handles = getattr(machine, "_prof_spans", None)
+    if prof is not None and handles is not None:
+        run_span, tier_span = handles
+        prof.end(tier_span)
+        prof.end(run_span, **{"sim.wall_cycles": result.wall})
+        machine._prof_spans = None
     monitors = config.monitors if config is not None else None
     if monitors is not None and hasattr(monitors, "finalize"):
         monitors.finalize(result, loop)

@@ -50,6 +50,7 @@ from ..core.privatization import (
     priv_vector_verdict,
 )
 from ..core.accessbits import read_first_rows
+from ..obs import spans as obs_spans
 from ..obs.provenance import run_provenance
 from ..params import MachineParams
 from ..sim.machine import Machine
@@ -395,14 +396,22 @@ def _aggregate_streams(
     return {p: stream(p) for p in range(num)}
 
 
-def _delegate(loop, params, config, serial_result):
+def _delegate(loop, params, config, serial_result, reason="dynamic-schedule"):
     """Re-run the whole case on the batch engine (observably identical
     to scalar), re-stamping provenance so the result still names the
     configuration the caller asked for."""
     from .driver import run_hw
 
+    prof = obs_spans.current()
+    if prof is not None:
+        prof.count("vector.delegations")
+        handle = prof.begin("vector.delegate", cat="vector", reason=reason)
     batch = dataclasses.replace(config, engine="batch")
-    result = run_hw(loop, params, batch, serial_result)
+    try:
+        result = run_hw(loop, params, batch, serial_result)
+    finally:
+        if prof is not None:
+            prof.end(handle)
     result.provenance = run_provenance(
         params, config, scenario=Scenario.HW.value, loop_name=loop.name
     )
@@ -432,7 +441,8 @@ def run_hw_vector(
     if config.schedule.policy is SchedulePolicy.DYNAMIC:
         # The verdict can depend on the emergent grab order; only the
         # op-by-op engines know it.
-        return _delegate(loop, params, config, serial_result)
+        return _delegate(loop, params, config, serial_result,
+                         reason="dynamic-schedule")
 
     has_priv = any(
         spec.protocol is not ProtocolKind.NONPRIV
@@ -442,13 +452,21 @@ def run_hw_vector(
     iter_overhead = cost.loop_iter_overhead + (
         cost.hw_iter_tag_clear_cycles if has_priv else 0
     )
-    ext = _extract(loop, params, config, iter_overhead)
-    verdicts = _kernel_verdicts(loop, params, config, ext)
+    prof = obs_spans.current()
+    if prof is not None:
+        with prof.span("vector.extract", cat="vector"):
+            ext = _extract(loop, params, config, iter_overhead)
+        with prof.span("vector.kernels", cat="vector"):
+            verdicts = _kernel_verdicts(loop, params, config, ext)
+    else:
+        ext = _extract(loop, params, config, iter_overhead)
+        verdicts = _kernel_verdicts(loop, params, config, ext)
     if verdicts is None:
         # Kernel FAIL: exact failure attribution (reason, element,
         # iteration, processor, detection cycle) requires the op-by-op
         # race replay.
-        return _delegate(loop, params, config, serial_result)
+        return _delegate(loop, params, config, serial_result,
+                         reason="kernel-fail")
 
     machine = Machine(params, with_speculation=True, engine="vector")
     _apply_hook(config, machine)
@@ -479,8 +497,13 @@ def run_hw_vector(
         config.schedule, loop.num_iterations, params.num_processors
     )
 
-    _fill_tables(machine, loop, params, config, ext, verdicts)
-    machine.memsys.bulk_loop_commit(ext.procs, lines, ext.writes)
+    if prof is not None:
+        with prof.span("vector.fill+commit", cat="vector"):
+            _fill_tables(machine, loop, params, config, ext, verdicts)
+            machine.memsys.bulk_loop_commit(ext.procs, lines, ext.writes)
+    else:
+        _fill_tables(machine, loop, params, config, ext, verdicts)
+        machine.memsys.bulk_loop_commit(ext.procs, lines, ext.writes)
     machine.spec.disarm()
 
     # Copy-out of privatized live-out arrays, run op-by-op like scalar

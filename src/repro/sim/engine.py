@@ -12,6 +12,7 @@ from ..core.engine import SpeculationEngine
 from ..core.messages import Scheduler
 from ..errors import ConfigurationError
 from ..memsys.system import MemorySystem
+from ..obs import spans as obs_spans
 from ..obs.events import EpochSyncEvent, QuiesceEvent
 from ..types import AccessKind
 from .processor import Processor, ProcState
@@ -62,6 +63,10 @@ class Engine(Scheduler):
         self.events_processed = 0
         #: telemetry bus (repro.obs.EventBus); None keeps emission free
         self.bus = None
+        #: ambient span profiler for the current phase (repro.obs.spans);
+        #: None keeps the hot paths free of profiling work
+        self.profiler = None
+        self._epoch_span = None
 
     # ------------------------------------------------------------------
     # Scheduler interface (used by the speculation protocols)
@@ -124,6 +129,10 @@ class Engine(Scheduler):
         if self.spec is not None:
             self.spec.epoch_sync()
         self._epochs_done = epoch
+        prof = self.profiler
+        if prof is not None and self._epoch_span is not None:
+            prof.end(self._epoch_span, flushed_messages=flushed)
+            self._epoch_span = prof.begin(f"epoch#{epoch}", cat="epoch", epoch=epoch)
         if self.bus is not None and self.bus.active:
             self.bus.emit(EpochSyncEvent(self.now, epoch, flushed))
 
@@ -188,10 +197,20 @@ class Engine(Scheduler):
         self._abort_handled = False
         self._epochs_done = 0
         self._remaining = len(op_sources)
+        prof = self.profiler = obs_spans.current()
+        if prof is not None:
+            events0 = self.events_processed
+            self._epoch_span = prof.begin("epoch#0", cat="epoch", epoch=0)
         for proc_id, ops in op_sources.items():
             self.processors[proc_id].start(iter(ops), start)
         self._run_to_quiescence()
         self._abort_on_failure = False
+        if prof is not None and self._epoch_span is not None:
+            prof.end(
+                self._epoch_span,
+                **{"engine.events": self.events_processed - events0},
+            )
+            self._epoch_span = None
 
         finish = [-1.0] * len(self.processors)
         deltas: List[PerProcStats] = []

@@ -379,15 +379,19 @@ def run_seeds(
     timeout: Optional[float] = None,
     bus=None,
     engine: str = "batch",
+    profile=None,
 ) -> List[Dict[str, object]]:
     """Sweep ``seeds`` through :func:`seed_verdict`, fanning out across
     ``jobs`` worker processes; verdicts come back in seed order and are
-    identical to a serial sweep of the same seeds."""
+    identical to a serial sweep of the same seeds.  ``profile`` (a
+    ``repro.obs.spans.ProfileSession``) enables per-task profiling
+    capture without changing any verdict."""
     tasks = [
         PoolTask(seed_verdict, (seed, engine), label=f"seed:{seed}")
         for seed in seeds
     ]
-    return run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus)
+    return run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus,
+                     profile=profile)
 
 
 # ----------------------------------------------------------------------

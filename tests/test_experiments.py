@@ -252,9 +252,46 @@ class TestCLI:
         # exploration verbs must stay explicit-only.
         import repro.experiments.cli as cli
 
-        assert {"sweep", "diffsweep", "bench", "trace", "doctor"} <= set(
-            cli.EXPERIMENTS
+        assert {"sweep", "diffsweep", "bench", "trace", "doctor",
+                "profile"} <= set(cli.EXPERIMENTS)
+
+    def test_cli_profile_smoke(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "profile.json"
+        assert main(["profile", "--workload", "Track", "--jobs", "2",
+                     "--profile-out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        # Engine-matrix tasks captured in worker processes, merged here.
+        task_spans = [e for e in events if e.get("cat") == "task"]
+        assert task_spans
+        assert len({e["pid"] for e in task_spans}) >= 2
+        rollup = json.loads(
+            (tmp_path / "profile-rollup.json").read_text()
         )
+        assert rollup["tasks"] == len(task_spans)
+        assert set(rollup["phase_breakdown_s"]) >= {"scalar", "batch"}
+        out = capsys.readouterr().out
+        assert "wrote" in out and "task wall" in out
+
+    def test_cli_sweep_profile_out(self, tmp_path, capsys):
+        import json
+
+        from repro.experiments.cli import main
+
+        out_path = tmp_path / "sweep-prof.json"
+        assert main(["sweep", "--workload", "Track",
+                     "--sweep-field", "num_processors",
+                     "--sweep-values", "2,4", "--jobs", "2",
+                     "--profile-out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert any(e.get("cat") == "task" for e in doc["traceEvents"])
+        assert (tmp_path / "sweep-prof-rollup.json").exists()
+        out = capsys.readouterr().out
+        assert "sweep: num_processors" in out and "wrote" in out
 
 
 class TestBenchDiff:
