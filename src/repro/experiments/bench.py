@@ -121,6 +121,7 @@ def run_bench(
     reps: int = 7,
     jobs: int = 1,
     profile=None,
+    ledger=None,
 ) -> str:
     """Measure the matrix and write ``out``.
 
@@ -129,6 +130,10 @@ def run_bench(
     merged trace shows where each cell's wall time goes.  Profiled cells
     carry the capture's event-bus overhead; never use a profiled run to
     regenerate a committed baseline document.
+
+    ``ledger`` (a ``repro.obs.RunLedger``) archives the finished
+    document as one bench history point — the timeline behind
+    ``repro ledger trend`` and ``benchdiff --from-ledger``.
     """
     loop, params = _make_bench_workload()
     cells: List[Tuple[str, str]] = [
@@ -221,5 +226,11 @@ def run_bench(
         f"vector/batch {best[('batch', 'bare')] / best[('vector', 'bare')]:.2f}x, "
         f"vector/scalar {best[('scalar', 'bare')] / best[('vector', 'bare')]:.2f}x"
     )
+    if ledger is not None:
+        key, deduped = ledger.record_bench(doc, label=out)
+        lines.append(
+            f"archived as ledger record {key[:12]}"
+            + (" (already present)" if deduped else "")
+        )
     lines.append(f"wrote {out}")
     return "\n".join(lines)

@@ -14,6 +14,14 @@ Both the flat PR3-era shape (top-level ``bare``/``telemetry``/
 ``monitors``) and the PR4 matrix shape (``engines.<engine>.<level>``)
 are understood, so the very first run of the job can still diff against
 a PR3-era baseline.
+
+With ``--from-ledger N`` the baseline is not a file but the per-cell
+*median* of the last N bench records archived in the run ledger
+(``repro.obs.ledger``) — robust against one noisy historical
+measurement in a way a single committed snapshot cannot be::
+
+    python -m repro.experiments.benchdiff /tmp/bench_now.json \
+        --from-ledger 5 --ledger-dir .repro-ledger
 """
 
 from __future__ import annotations
@@ -83,8 +91,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         prog="python -m repro.experiments.benchdiff",
         description="Diff a bench JSON against a committed baseline.",
     )
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly measured JSON")
+    parser.add_argument(
+        "paths", nargs="+", metavar="json",
+        help="baseline and current JSON — or just the current document "
+        "when --from-ledger supplies the baseline",
+    )
     parser.add_argument(
         "--threshold", type=float, default=15.0,
         help="warn when a cell slows by more than this percentage",
@@ -93,13 +104,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--strict", action="store_true",
         help="exit 1 on regressions instead of only warning",
     )
+    parser.add_argument(
+        "--from-ledger", type=int, default=0, metavar="N",
+        help="baseline = per-cell median of the last N bench records "
+        "archived in the run ledger (instead of a baseline file)",
+    )
+    parser.add_argument(
+        "--ledger-dir", default=None,
+        help="ledger root for --from-ledger (default .repro-ledger)",
+    )
     args = parser.parse_args(argv)
-    with open(args.baseline) as fh:
-        baseline = json.load(fh)
-    with open(args.current) as fh:
+    if args.from_ledger:
+        if len(args.paths) != 1:
+            parser.error("--from-ledger takes exactly one (current) JSON")
+        from ..obs.ledger import (LEDGER_DIR, RunLedger,
+                                  median_bench_baseline)
+
+        ledger = RunLedger(args.ledger_dir or LEDGER_DIR)
+        history = ledger.bench_history()[-args.from_ledger:]
+        if not history:
+            parser.error(
+                f"no bench records in ledger {ledger.root!r}; seed with "
+                "'repro-experiments ledger import BENCH_PR*.json'"
+            )
+        baseline = median_bench_baseline(history)
+        baseline_name = (
+            f"ledger median of last {len(history)} record(s)"
+        )
+        current_path = args.paths[0]
+    else:
+        if len(args.paths) != 2:
+            parser.error("expected: baseline current (or --from-ledger N)")
+        with open(args.paths[0]) as fh:
+            baseline = json.load(fh)
+        baseline_name = args.paths[0]
+        current_path = args.paths[1]
+    with open(current_path) as fh:
         current = json.load(fh)
     report, regressions = compare(baseline, current, args.threshold)
-    print("bench diff (baseline -> current, best-of times):")
+    print(f"bench diff ({baseline_name} -> current, best-of times):")
     for line in report:
         print(line)
     for regression in regressions:

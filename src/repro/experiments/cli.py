@@ -101,8 +101,18 @@ def _doctor(args) -> str:
 def _bench(args) -> str:
     session = _profile_session(args, "bench")
     text = bench.run_bench(out=args.bench_out, reps=args.bench_reps,
-                           jobs=args.jobs, profile=session)
+                           jobs=args.jobs, profile=session,
+                           ledger=_ledger(args))
     return _with_profile(args, session, text)
+
+
+def _ledger(args):
+    """The --ledger-dir archive, or None (the default null path)."""
+    if not getattr(args, "ledger_dir", None):
+        return None
+    from ..obs.ledger import RunLedger
+
+    return RunLedger(args.ledger_dir)
 
 
 def _profile_session(args, label: str):
@@ -143,12 +153,21 @@ def _sweep(args) -> str:
     loop = next(iter(workload.executions(1)))
     values = [_sweep_value(v) for v in args.sweep_values.split(",") if v]
     session = _profile_session(args, f"sweep:{args.sweep_field}")
+    ledger = _ledger(args)
+    config = None
+    if ledger is not None:
+        # Every sweep point (and the memoized serial baseline) is then
+        # archived — and re-sweeping identical points serves from disk.
+        from ..runtime.driver import RunConfig
+
+        config = RunConfig(ledger=ledger)
     points = sweep_machine(
         loop,
         args.sweep_field,
         values,
         scenario=Scenario[args.sweep_scenario.upper()],
         base_params=default_params(workload.num_processors),
+        config=config,
         jobs=args.jobs,
         profile=session,
     )
@@ -174,6 +193,18 @@ def _diffsweep(args) -> str:
     lines.append(
         f"{conforming}/{len(seeds)} cases conform (jobs={args.jobs})"
     )
+    ledger = _ledger(args)
+    if ledger is not None:
+        key, _ = ledger.record_diffsweep(
+            {
+                "seeds": len(seeds),
+                "start": args.diff_start,
+                "conforming": conforming,
+                "failures": lines[:-1],
+            },
+            label=f"diffsweep:{args.diff_start}+{len(seeds)}",
+        )
+        lines.append(f"archived as ledger record {key[:12]}")
     return _with_profile(args, session, "\n".join(lines))
 
 
@@ -200,6 +231,14 @@ def _profile(args) -> str:
 
 
 def main(argv: "List[str] | None" = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "ledger":
+        # The ledger verb family has its own subcommand grammar
+        # (list/show/diff/import/trend/regressions); dispatch before the
+        # experiments parser sees it.
+        from . import ledgercli
+
+        return ledgercli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation of 'Hardware for Speculative "
@@ -209,7 +248,8 @@ def main(argv: "List[str] | None" = None) -> int:
         "experiments",
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
-        help="which tables/figures to regenerate",
+        help="which tables/figures to regenerate (plus the 'ledger' "
+        "verb family: ledger list/show/diff/import/trend/regressions)",
     )
     parser.add_argument(
         "--preset",
@@ -280,6 +320,12 @@ def main(argv: "List[str] | None" = None) -> int:
     parser.add_argument(
         "--diff-start", type=int, default=0,
         help="diffsweep: first seed of the sweep",
+    )
+    parser.add_argument(
+        "--ledger-dir", default=None,
+        help="archive bench/sweep/diffsweep results (and serve identical "
+        "re-runs) from the run ledger rooted here; query it with the "
+        "'ledger' verb family",
     )
     args = parser.parse_args(argv)
 

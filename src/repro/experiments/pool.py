@@ -31,6 +31,12 @@ results indistinguishable from serial execution:
 
 Task functions must be module-level (picklable by reference) and their
 arguments plain data; anything else simply runs inline.
+
+A ``RunConfig`` carrying a ``repro.obs.RunLedger`` pickles into workers
+unchanged (the ledger is stateless: a root path plus flags), and the
+ledger's flock-guarded appends make concurrent worker commits to one
+archive safe — ``--jobs 4`` sweeps append to a single ``index.jsonl``
+without torn lines or duplicate records.
 """
 
 from __future__ import annotations

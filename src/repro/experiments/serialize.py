@@ -1,4 +1,15 @@
-"""JSON-friendly serialization of results (for tooling and the CLI)."""
+"""JSON-friendly serialization of results (for tooling and the CLI).
+
+``run_result_to_dict`` / ``run_result_from_dict`` round-trip a
+``RunResult`` through plain JSON types — the storage format of the run
+ledger (``repro.obs.ledger``), whose cache-read path must hand back a
+bit-identical result.  JSON floats round-trip exactly (``repr`` is the
+shortest round-trip representation), so every cycle count and phase
+time survives unchanged.  Live objects that cannot be reconstructed
+(monitor violations, forensic reports) serialize one-way: ``from_dict``
+restores them as ``None``, which is why the ledger refuses to *serve*
+runs recorded under monitors.
+"""
 
 from __future__ import annotations
 
@@ -6,7 +17,12 @@ import dataclasses
 import json
 from typing import Any, Dict, List, Sequence
 
+from ..errors import SpeculationFailure
+from ..lrpd.analysis import ArrayAnalysis, LRPDOutcome
+from ..memsys.system import MemStats
+from ..obs.provenance import RunProvenance
 from ..runtime.driver import RunResult
+from ..sim.stats import TimeBreakdown
 from ..types import Scenario
 from .figures import (Fig11Row, Fig12Row, Fig13Row, Fig14Row, Table1Row,
                       Table2Row, Table3Row)
@@ -62,6 +78,85 @@ def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
             },
         }
     return out
+
+
+def _revive_metrics(metrics: Any) -> Any:
+    """Undo JSON's key stringification inside a metrics snapshot.
+
+    ``MetricsRegistry.as_dict()`` keys histogram buckets by int; JSON
+    turns those into strings.  Reviving them keeps a ledger-served
+    result bit-identical to the freshly simulated one even when
+    telemetry stamped metrics into it.
+    """
+    if not isinstance(metrics, dict):
+        return metrics
+    for series in (metrics.get("histograms") or {}).values():
+        for hist in series.values():
+            buckets = hist.get("buckets")
+            if isinstance(buckets, dict):
+                hist["buckets"] = {int(k): v for k, v in buckets.items()}
+    return metrics
+
+
+def run_result_from_dict(doc: Dict[str, Any]) -> RunResult:
+    """Rebuild a ``RunResult`` from :func:`run_result_to_dict` output.
+
+    Inverse up to the one-way fields: ``violations``/``forensics`` come
+    back as ``None`` (their live types hold event history and machine
+    references that plain JSON cannot carry).  Everything else —
+    provenance, failure attribution, LRPD outcome, memory counters,
+    realized assignment — reconstructs exactly.
+    """
+    failure = None
+    if "failure" in doc:
+        f = doc["failure"]
+        failure = SpeculationFailure(
+            f["reason"],
+            element=tuple(f["element"]) if f.get("element") else None,
+            detected_at=f.get("detected_at"),
+            iteration=f.get("iteration"),
+            processor=f.get("processor"),
+        )
+    lrpd = None
+    if "lrpd" in doc:
+        l = doc["lrpd"]
+        lrpd = LRPDOutcome(
+            passed=l["passed"],
+            arrays={
+                name: ArrayAnalysis(
+                    name=name,
+                    passed=a["passed"],
+                    decided_by=a["decided_by"],
+                    atw=a["atw"],
+                    atm=a["atm"],
+                )
+                for name, a in l["arrays"].items()
+            },
+            failed_array=l.get("failed_array"),
+        )
+    return RunResult(
+        scenario=Scenario(doc["scenario"]),
+        loop_name=doc["loop"],
+        num_processors=doc["num_processors"],
+        passed=doc["passed"],
+        wall=doc["wall_cycles"],
+        breakdown=TimeBreakdown(**doc["breakdown"]),
+        phases=dict(doc["phases"]),
+        failure=failure,
+        detection_cycle=doc.get("detection_cycle"),
+        lrpd=lrpd,
+        spec_messages=doc.get("spec_messages", 0),
+        mem=MemStats(**doc["mem"]) if "mem" in doc else None,
+        provenance=(
+            RunProvenance(**doc["provenance"]) if "provenance" in doc else None
+        ),
+        metrics=_revive_metrics(doc.get("metrics")),
+        assignment=(
+            [list(its) for its in doc["assignment"]]
+            if "assignment" in doc
+            else None
+        ),
+    )
 
 
 def workload_results_to_dict(results: WorkloadResults) -> Dict[str, Any]:

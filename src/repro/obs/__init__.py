@@ -24,6 +24,8 @@ from .events import (
     EpochSyncEvent,
     Event,
     FailureEvent,
+    LedgerHitEvent,
+    LedgerWriteEvent,
     PhaseBeginEvent,
     PhaseEndEvent,
     PoolEndEvent,
@@ -48,6 +50,7 @@ from .export import (
     write_merged_chrome_trace,
 )
 from .forensics import ForensicReport, MinimizedReproducer, build_report, element_trace
+from .ledger import LEDGER_DIR, RunLedger, as_ledger, ledger_key
 from .metrics import Counter, Histogram, MetricsCollector, MetricsRegistry
 from .monitor import (
     CoherenceMonitor,
@@ -85,6 +88,12 @@ __all__ = [
     "PoolTaskEvent",
     "PoolWorkerFailureEvent",
     "PoolEndEvent",
+    "LedgerWriteEvent",
+    "LedgerHitEvent",
+    "RunLedger",
+    "LEDGER_DIR",
+    "as_ledger",
+    "ledger_key",
     "InvariantViolation",
     "Monitor",
     "MonitorSuite",

@@ -17,13 +17,16 @@ runtime    :class:`RunStartEvent`, :class:`RunEndEvent`,
            :class:`AbortEvent`, :class:`RestoreEvent`
 pool       :class:`PoolStartEvent`, :class:`PoolTaskEvent`,
            :class:`PoolWorkerFailureEvent`, :class:`PoolEndEvent`
+ledger     :class:`LedgerWriteEvent`, :class:`LedgerHitEvent`
 ========== ======================================================
 
 Events are plain data: they carry no behavior and no references into
 the machine, so they can be buffered, serialized and compared freely.
 ``time`` is always the simulated cycle at which the event happened —
 except for the ``pool`` subsystem, which describes host-side experiment
-fan-out and carries host seconds since the pool started instead.
+fan-out and carries host seconds since the pool started instead, and
+the ``ledger`` subsystem, where a write carries the simulated cycle at
+run end and a cache hit carries 0.0 (no simulation ran).
 """
 
 from __future__ import annotations
@@ -56,6 +59,8 @@ __all__ = [
     "PoolTaskEvent",
     "PoolWorkerFailureEvent",
     "PoolEndEvent",
+    "LedgerWriteEvent",
+    "LedgerHitEvent",
 ]
 
 
@@ -365,3 +370,37 @@ class PoolEndEvent(Event):
     completed: int
     failures: int
     inline_tasks: int
+
+
+# ----------------------------------------------------------------------
+# ledger (the provenance-keyed run archive)
+# ----------------------------------------------------------------------
+@dataclasses.dataclass(frozen=True)
+class LedgerWriteEvent(Event):
+    """A result was archived in a :class:`~repro.obs.ledger.RunLedger`.
+
+    ``time`` is the simulated cycle at run end.  ``deduped`` means the
+    content-addressed record already existed (an identical invocation
+    was archived earlier) and nothing was rewritten.
+    """
+
+    subsystem = "ledger"
+    name = "ledger-write"
+
+    key: str
+    kind: str
+    passed: Optional[bool] = None
+    deduped: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class LedgerHitEvent(Event):
+    """A run was served bit-identically from the ledger archive instead
+    of being re-simulated.  ``time`` is 0.0 — no simulation ran."""
+
+    subsystem = "ledger"
+    name = "ledger-hit"
+
+    key: str
+    scenario: str = ""
+    loop_name: str = ""

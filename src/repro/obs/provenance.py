@@ -34,6 +34,14 @@ def _jsonable(obj: Any) -> Any:
         return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
     if isinstance(obj, (list, tuple)):
         return [_jsonable(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        # Iteration order of sets is hash-seed dependent, so falling
+        # through to repr() would fingerprint the same value differently
+        # across processes; canonicalize as a sorted list instead.
+        return sorted(
+            (_jsonable(v) for v in obj),
+            key=lambda r: json.dumps(r, sort_keys=True, separators=(",", ":")),
+        )
     if obj is None or isinstance(obj, (bool, int, float, str)):
         return obj
     return repr(obj)

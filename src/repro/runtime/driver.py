@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import time
 from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
@@ -22,6 +23,8 @@ from ..lrpd.shadow import LRPDState
 from ..memsys.system import MemStats
 from ..obs.events import (
     AbortEvent,
+    LedgerHitEvent,
+    LedgerWriteEvent,
     PhaseBeginEvent,
     PhaseEndEvent,
     RestoreEvent,
@@ -110,6 +113,16 @@ class RunConfig:
     #: RunResult.  ``None`` (the default) keeps the zero-overhead null
     #: path: no bus, no event construction.
     monitors: Optional[object] = None
+    #: provenance-keyed run archive: a ``repro.obs.RunLedger`` (or a
+    #: directory path).  Every completed run is recorded — provenance,
+    #: verdict, metrics, span rollup, host wall time — and a re-run
+    #: whose content address matches an archived record is served
+    #: bit-identically from the archive without re-simulating (skipped
+    #: when ``monitors``/``machine_hook`` are set: those need a live
+    #: machine).  Never enters the provenance hash; ``None`` (the
+    #: default) keeps the zero-overhead null path — the ledger module
+    #: is not even imported.
+    ledger: Optional[object] = None
 
 
 def _engine_of(config: "Optional[RunConfig]") -> str:
@@ -135,6 +148,11 @@ def _apply_hook(config: "Optional[RunConfig]", machine: Machine) -> None:
         config.monitors.attach(machine)
     if config is not None and config.machine_hook is not None:
         config.machine_hook(machine)
+    if config is not None and config.ledger is not None:
+        # Host-wall anchor for the ledger record; per-machine (not a
+        # module global) so the vector tier's delegation re-entry keeps
+        # each run's timing separate.
+        machine._ledger_t0 = time.perf_counter()
 
 
 @dataclasses.dataclass
@@ -344,6 +362,89 @@ def _append_failure_tail(
     return breakdown
 
 
+def _ambient_bus(config: "Optional[RunConfig]"):
+    """Best event bus available before any machine exists: the config's
+    telemetry bus, else the ambient pool-worker capture's bus."""
+    telemetry = config.telemetry if config is not None else None
+    bus = getattr(telemetry, "bus", None)
+    if bus is None and telemetry is not None and hasattr(telemetry, "emit"):
+        bus = telemetry  # a bare EventBus passed as telemetry
+    if bus is None:
+        capture = spans.capture_current()
+        if capture is not None:
+            bus = capture.bus
+    return bus
+
+
+def _ledger_serve(
+    config: "Optional[RunConfig]",
+    scenario: Scenario,
+    loop: Loop,
+    params: MachineParams,
+) -> "Optional[RunResult]":
+    """The cache-read path: an archived run with the same content
+    address is returned bit-identically instead of re-simulating.
+
+    Declines (returns None) when the ledger is disabled, when serving
+    is turned off, when monitors or a machine hook are armed (both need
+    a live machine the archive cannot provide), or on a plain miss.
+    """
+    if config is None or config.ledger is None:
+        return None
+    if config.monitors is not None or config.machine_hook is not None:
+        return None
+    from ..obs.ledger import as_ledger, ledger_key
+
+    ledger = as_ledger(config.ledger)
+    if not ledger.serve_hits:
+        return None
+    key = ledger_key(scenario, loop, params, config)
+    result = ledger.serve(key)
+    if result is None:
+        return None
+    bus = _ambient_bus(config)
+    if bus is not None and bus.active:
+        bus.emit(LedgerHitEvent(0.0, key, scenario.value, loop.name))
+    return result
+
+
+def _ledger_commit(
+    machine: Machine,
+    config: "RunConfig",
+    params: MachineParams,
+    result: "RunResult",
+    loop: Optional[Loop],
+    prof,
+    handles,
+) -> None:
+    """Archive a completed run (the tail of ``_finish_run``)."""
+    if loop is None:
+        return
+    from ..obs.ledger import as_ledger, ledger_key, span_rollup
+
+    ledger = as_ledger(config.ledger)
+    # The result's provenance was stamped moments ago for exactly this
+    # (params, config, scenario) — reuse it rather than rehashing.
+    key = ledger_key(result.scenario, loop, params, config,
+                     provenance=result.provenance)
+    t0 = getattr(machine, "_ledger_t0", None)
+    host_wall = time.perf_counter() - t0 if t0 is not None else None
+    rollup = None
+    if prof is not None and handles is not None:
+        rollup = span_rollup(prof.spans, handles[0]["sid"])
+    _, deduped = ledger.record_result(
+        result, key=key, host_wall_s=host_wall, rollup=rollup, config=config
+    )
+    bus = machine.bus
+    if bus is not None and bus.active:
+        bus.emit(
+            LedgerWriteEvent(
+                machine.engine.now, key, "run",
+                passed=result.passed, deduped=deduped,
+            )
+        )
+
+
 def _begin_run(machine: Machine, scenario: Scenario, loop: Loop) -> None:
     prof = spans.current()
     if prof is not None:
@@ -400,6 +501,10 @@ def _finish_run(
     monitors = config.monitors if config is not None else None
     if monitors is not None and hasattr(monitors, "finalize"):
         monitors.finalize(result, loop)
+    # Archive last, after monitors stamped violations/forensics, so the
+    # record holds the result exactly as the caller receives it.
+    if config is not None and config.ledger is not None:
+        _ledger_commit(machine, config, params, result, loop, prof, handles)
     return result
 
 
@@ -410,6 +515,9 @@ def run_serial(
     loop: Loop, params: MachineParams, config: Optional[RunConfig] = None
 ) -> RunResult:
     """Uniprocessor execution with all data local (§6)."""
+    served = _ledger_serve(config, Scenario.SERIAL, loop, params)
+    if served is not None:
+        return served
     machine = Machine(
         _serial_params(params), with_speculation=False, engine=_engine_of(config)
     )
@@ -447,6 +555,9 @@ def run_ideal(
     to them are redirected to per-processor local copies.
     """
     config = config or RunConfig()
+    served = _ledger_serve(config, Scenario.IDEAL, loop, params)
+    if served is not None:
+        return served
     machine = Machine(params, with_speculation=False, engine=_engine_of(config))
     _apply_hook(config, machine)
     _begin_run(machine, Scenario.IDEAL, loop)
@@ -534,6 +645,12 @@ def run_hw(
 ) -> RunResult:
     """Hardware speculative run-time parallelization (§3/§4)."""
     config = config or RunConfig()
+    # Serve before the vector dispatch: the content address includes the
+    # engine, so a vector-keyed hit short-circuits even the delegation
+    # decision.
+    served = _ledger_serve(config, Scenario.HW, loop, params)
+    if served is not None:
+        return served
     if _engine_of(config) == "vector":
         from .vector import run_hw_vector
 
@@ -672,6 +789,9 @@ def run_sw(
 ) -> RunResult:
     """Software speculative run-time parallelization (§2)."""
     config = config or RunConfig()
+    served = _ledger_serve(config, Scenario.SW, loop, params)
+    if served is not None:
+        return served
     processor_wise = config.schedule.virtual_mode is VirtualMode.PROCESSOR
     if processor_wise and config.schedule.policy is not SchedulePolicy.STATIC_CHUNK:
         raise ConfigurationError(

@@ -237,7 +237,7 @@ def conformance_signature(result: RunResult, machine) -> dict:
     """Everything the conformance contract compares, as one dict."""
     failure = result.failure
     mem = result.mem
-    spec = machine.spec
+    spec = machine.spec if machine is not None else None
     return {
         "passed": result.passed,
         "failure": (
@@ -262,7 +262,27 @@ def conformance_signature(result: RunResult, machine) -> dict:
         "nonpriv_tables": _table_state(spec.nonpriv) if spec else {},
         "priv_tables": _table_state(spec.priv) if spec else {},
         "priv_simple_tables": _table_state(spec.priv_simple) if spec else {},
-        "coherence_dirs": _directory_state(machine),
+        "coherence_dirs": (
+            _directory_state(machine) if machine is not None else {}
+        ),
+    }
+
+
+def result_signature(result: RunResult) -> dict:
+    """The result-only projection of :func:`conformance_signature` —
+    everything it compares that lives on the ``RunResult`` itself, no
+    machine required.  This is the full-signature compare available to
+    consumers holding only archived results (the run ledger's cache-hit
+    bit-identity check): two results with equal ``result_signature`` are
+    bit-identical in verdict, failure attribution, timing, phase times,
+    traffic counters and realized assignment.
+    """
+    sig = conformance_signature(result, machine=None)
+    return {
+        k: v
+        for k, v in sig.items()
+        if k not in ("nonpriv_tables", "priv_tables", "priv_simple_tables",
+                     "coherence_dirs")
     }
 
 

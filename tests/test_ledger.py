@@ -1,0 +1,447 @@
+"""Tests for the provenance-keyed run ledger (repro.obs.ledger)."""
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import benchdiff, ledgercli
+from repro.experiments.pool import PoolTask, run_tasks
+from repro.experiments.serialize import run_result_from_dict, run_result_to_dict
+from repro.obs import RunLedger, Telemetry, as_ledger, ledger_key
+from repro.obs.events import LedgerHitEvent, LedgerWriteEvent, RunStartEvent
+from repro.params import small_test_params
+from repro.runtime.driver import RunConfig, run_hw, run_ideal, run_serial, run_sw
+from repro.runtime.schedule import SchedulePolicy, ScheduleSpec
+from repro.testing.diffcheck import result_signature
+from repro.types import Scenario
+from repro.workloads.synthetic import (
+    failing_loop,
+    parallel_nonpriv_loop,
+    privatizable_loop,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_SNAPSHOTS = ["BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR6.json"]
+
+ENGINES = ("scalar", "batch", "vector")
+
+
+def _static(engine="scalar", **extra):
+    return RunConfig(
+        engine=engine,
+        schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
+        **extra,
+    )
+
+
+def _loop(name="ledger-loop", iterations=8):
+    return parallel_nonpriv_loop(name, elements=64, iterations=iterations)
+
+
+# ----------------------------------------------------------------------
+# serialization round-trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_passing_hw_run(self):
+        result = run_hw(_loop(), small_test_params(4), _static())
+        doc = json.loads(json.dumps(run_result_to_dict(result)))
+        restored = run_result_from_dict(doc)
+        assert restored == result  # dataclass equality incl. provenance
+        assert restored.provenance == result.provenance
+        assert run_result_to_dict(restored) == run_result_to_dict(result)
+
+    def test_failing_hw_run(self):
+        loop = failing_loop(4, "ledger-fail", elements=32, iterations=8)
+        result = run_hw(loop, small_test_params(4), _static())
+        assert not result.passed
+        doc = json.loads(json.dumps(run_result_to_dict(result)))
+        restored = run_result_from_dict(doc)
+        # SpeculationFailure is an Exception (identity equality), so the
+        # failing-run contract is dict-level equality + full attribution.
+        assert run_result_to_dict(restored) == run_result_to_dict(result)
+        assert restored.failure.reason == result.failure.reason
+        assert restored.failure.element == result.failure.element
+        assert restored.failure.detected_at == result.failure.detected_at
+        assert restored.failure.processor == result.failure.processor
+
+    def test_sw_run_with_lrpd(self):
+        loop = privatizable_loop("ledger-sw", elements=64, iterations=8)
+        result = run_sw(loop, small_test_params(4), _static())
+        restored = run_result_from_dict(
+            json.loads(json.dumps(run_result_to_dict(result)))
+        )
+        assert restored == result
+        assert restored.lrpd.passed == result.lrpd.passed
+        assert set(restored.lrpd.arrays) == set(result.lrpd.arrays)
+
+
+# ----------------------------------------------------------------------
+# the archive itself
+# ----------------------------------------------------------------------
+class TestLedgerStore:
+    def test_write_read_and_dedupe(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        params = small_test_params(4)
+        config = _static(ledger=ledger)
+        result = run_hw(_loop(), params, config)
+        key = ledger_key(Scenario.HW, _loop(), params, config)
+        record = ledger.lookup(key)
+        assert record is not None and record["kind"] == "run"
+        assert record["result"] == json.loads(
+            json.dumps(run_result_to_dict(result))
+        )
+        assert record["host_wall_s"] is not None
+        # Second identical invocation serves the archive: still one
+        # index line, one record file.
+        run_hw(_loop(), params, config)
+        assert len(list(ledger.records())) == 1
+
+    def test_key_sensitivity(self):
+        params = small_test_params(4)
+        base = ledger_key(Scenario.HW, _loop(), params, _static())
+        assert base != ledger_key(Scenario.SW, _loop(), params, _static())
+        assert base != ledger_key(
+            Scenario.HW, _loop(), params, _static(engine="batch")
+        )
+        assert base != ledger_key(
+            Scenario.HW, _loop("other-name"), params, _static()
+        )
+        assert base != ledger_key(
+            Scenario.HW, _loop(iterations=9), params, _static()
+        )
+        # The ledger knob itself never enters the content address.
+        assert base == ledger_key(
+            Scenario.HW, _loop(), params, _static(ledger=RunLedger("/x"))
+        )
+
+    def test_resolve_prefix(self, tmp_path):
+        ledger = RunLedger(str(tmp_path))
+        run_serial(_loop(), small_test_params(4), RunConfig(ledger=ledger))
+        (entry,) = ledger.records()
+        assert ledger.resolve(entry["key"][:10]) == entry["key"]
+        with pytest.raises(KeyError):
+            ledger.resolve("zzzz")
+
+    def test_as_ledger_coercion_and_pickle(self, tmp_path):
+        import pickle
+
+        ledger = as_ledger(str(tmp_path))
+        assert isinstance(ledger, RunLedger) and ledger.root == str(tmp_path)
+        assert as_ledger(ledger) is ledger
+        config = _static(ledger=ledger)
+        assert pickle.loads(pickle.dumps(config)).ledger == ledger
+
+    def test_span_rollup_recorded(self, tmp_path):
+        from repro.obs import spans
+
+        ledger = RunLedger(str(tmp_path))
+        params = small_test_params(4)
+        config = _static(engine="batch", ledger=ledger)
+        spans.install(spans.SpanProfiler())
+        try:
+            run_hw(_loop(), params, config)
+        finally:
+            spans.uninstall()
+        (entry,) = ledger.records()
+        rollup = ledger.lookup(entry["key"])["span_rollup"]
+        assert rollup["run_wall_s"] > 0
+        assert rollup["phase_s"]["count"] >= 2  # backup + loop at least
+        assert "batch" in rollup["phase_breakdown_s"]
+        assert "phase:loop" in rollup["phase_breakdown_s"]["batch"]
+
+
+# ----------------------------------------------------------------------
+# the cache-read path
+# ----------------------------------------------------------------------
+class TestCacheHit:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bit_identical_without_engine_invocation(
+        self, tmp_path, monkeypatch, engine
+    ):
+        params = small_test_params(4)
+        ledger = RunLedger(str(tmp_path))
+        fresh = run_hw(_loop(), params, _static(engine))
+        first = run_hw(_loop(), params, _static(engine, ledger=ledger))
+        # Prove the second run never builds a machine: every engine
+        # entry point constructs one, so a poisoned constructor shows
+        # any attempt to simulate.
+        def boom(*a, **k):
+            raise AssertionError("simulation ran despite a ledger hit")
+
+        monkeypatch.setattr("repro.runtime.driver.Machine", boom)
+        monkeypatch.setattr("repro.runtime.vector.Machine", boom)
+        served = run_hw(_loop(), params, _static(engine, ledger=ledger))
+        # diffcheck's full-signature compare (result projection).
+        assert result_signature(served) == result_signature(first)
+        assert result_signature(served) == result_signature(fresh)
+        assert served == first == fresh
+        assert served.provenance == fresh.provenance
+
+    @pytest.mark.parametrize(
+        "runner,loop_fn",
+        [
+            (run_serial, _loop),
+            (run_ideal, _loop),
+            (run_sw, lambda: privatizable_loop("lsw", 64, 8)),
+        ],
+    )
+    def test_all_scenarios_serve(self, tmp_path, monkeypatch, runner, loop_fn):
+        params = small_test_params(4)
+        config = _static(ledger=RunLedger(str(tmp_path)))
+        first = runner(loop_fn(), params, config)
+        monkeypatch.setattr(
+            "repro.runtime.driver.Machine",
+            lambda *a, **k: pytest.fail("re-simulated"),
+        )
+        assert runner(loop_fn(), params, config) == first
+
+    def test_hit_and_write_events(self, tmp_path):
+        params = small_test_params(4)
+        ledger = RunLedger(str(tmp_path))
+        t1 = Telemetry()
+        run_hw(_loop(), params, _static(ledger=ledger, telemetry=t1))
+        writes = [e for e in t1.events if isinstance(e, LedgerWriteEvent)]
+        assert len(writes) == 1 and not writes[0].deduped
+        assert writes[0].kind == "run" and writes[0].passed
+
+        t2 = Telemetry()
+        run_hw(_loop(), params, _static(ledger=ledger, telemetry=t2))
+        hits = [e for e in t2.events if isinstance(e, LedgerHitEvent)]
+        assert len(hits) == 1
+        assert hits[0].key == writes[0].key
+        assert hits[0].scenario == "HW" and hits[0].loop_name == _loop().name
+        # No simulation happened: no run-start, no write.
+        assert not [e for e in t2.events if isinstance(e, RunStartEvent)]
+        assert not [e for e in t2.events if isinstance(e, LedgerWriteEvent)]
+
+    def test_monitors_and_hooks_disable_serving(self, tmp_path):
+        from repro.obs import MonitorSuite
+
+        params = small_test_params(4)
+        ledger = RunLedger(str(tmp_path))
+        config = _static(ledger=ledger, monitors=MonitorSuite())
+        r1 = run_hw(_loop(), params, config)
+        assert r1.violations == []
+        # Re-run is NOT served (monitors need a live machine), but the
+        # content address dedupes the archive.
+        t = Telemetry()
+        run_hw(_loop(), params, dataclasses.replace(
+            config, monitors=MonitorSuite(), telemetry=t))
+        assert [e for e in t.events if isinstance(e, RunStartEvent)]
+        writes = [e for e in t.events if isinstance(e, LedgerWriteEvent)]
+        assert len(writes) == 1 and writes[0].deduped
+        hook_calls = []
+        served = run_hw(
+            _loop(), params,
+            _static(ledger=ledger, machine_hook=hook_calls.append),
+        )
+        assert hook_calls, "machine_hook run must not be served from disk"
+        assert served.passed
+
+    def test_served_metrics_bit_identical_under_telemetry(self, tmp_path):
+        # Telemetry stamps a metrics snapshot into the result; histogram
+        # buckets are int-keyed, which plain JSON would stringify.  The
+        # revival in run_result_from_dict must undo that exactly.
+        params = small_test_params(4)
+        ledger = RunLedger(str(tmp_path))
+        first = run_hw(
+            _loop(), params,
+            _static(engine="batch", ledger=ledger, telemetry=Telemetry()),
+        )
+        assert first.metrics is not None
+        served = run_hw(
+            _loop(), params,
+            _static(engine="batch", ledger=ledger, telemetry=Telemetry()),
+        )
+        assert served.metrics == first.metrics
+        assert served == first
+
+    def test_serve_hits_off_records_but_resimulates(self, tmp_path):
+        params = small_test_params(4)
+        write_only = RunLedger(str(tmp_path), serve_hits=False)
+        t = Telemetry()
+        run_hw(_loop(), params, _static(ledger=write_only, telemetry=t))
+        t2 = Telemetry()
+        run_hw(_loop(), params, _static(ledger=write_only, telemetry=t2))
+        assert [e for e in t2.events if isinstance(e, RunStartEvent)]
+        assert not [e for e in t2.events if isinstance(e, LedgerHitEvent)]
+
+
+# ----------------------------------------------------------------------
+# concurrent appends through the experiment pool
+# ----------------------------------------------------------------------
+def _pool_run(iterations: int, root: str):
+    """Module-level (picklable) pool task: one distinct-keyed run."""
+    loop = parallel_nonpriv_loop(
+        f"pool-{iterations}", elements=64, iterations=iterations
+    )
+    config = RunConfig(
+        schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
+        ledger=RunLedger(root),
+    )
+    return run_result_to_dict(run_hw(loop, small_test_params(4), config))
+
+
+def _pool_run_same_key(root: str):
+    """Module-level pool task: every invocation shares one key."""
+    loop = parallel_nonpriv_loop("pool-same", elements=64, iterations=8)
+    config = RunConfig(
+        schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
+        ledger=RunLedger(root),
+    )
+    return run_result_to_dict(run_hw(loop, small_test_params(4), config))
+
+
+class TestConcurrentAppend:
+    def test_distinct_keys_all_archived(self, tmp_path):
+        root = str(tmp_path)
+        tasks = [
+            PoolTask(_pool_run, (8 + i, root), label=f"run-{i}")
+            for i in range(8)
+        ]
+        results = run_tasks(tasks, jobs=4)
+        assert len(results) == 8
+        ledger = RunLedger(root)
+        entries = list(ledger.records(kind="run"))
+        keys = [e["key"] for e in entries]
+        assert len(keys) == 8 and len(set(keys)) == 8
+        for key in keys:  # every record file is complete, parseable JSON
+            record = ledger.lookup(key)
+            assert record["kind"] == "run"
+            run_result_from_dict(record["result"])
+
+    def test_same_key_dedupes_across_workers(self, tmp_path):
+        root = str(tmp_path)
+        tasks = [
+            PoolTask(_pool_run_same_key, (root,), label=f"dup-{i}")
+            for i in range(4)
+        ]
+        results = run_tasks(tasks, jobs=4)
+        assert all(doc == results[0] for doc in results)
+        assert len(list(RunLedger(root).records())) == 1
+
+
+# ----------------------------------------------------------------------
+# bench history: import / trend / regressions / --from-ledger
+# ----------------------------------------------------------------------
+def _seed_history(root):
+    argv = ["--ledger-dir", str(root), "import"]
+    argv += [str(REPO_ROOT / name) for name in BENCH_SNAPSHOTS]
+    assert ledgercli.main(argv) == 0
+
+
+class TestBenchHistory:
+    def test_import_is_idempotent(self, tmp_path, capsys):
+        _seed_history(tmp_path)
+        _seed_history(tmp_path)
+        out = capsys.readouterr().out
+        assert out.count("already archived") == len(BENCH_SNAPSHOTS)
+        ledger = RunLedger(str(tmp_path))
+        assert len(list(ledger.records(kind="bench"))) == len(BENCH_SNAPSHOTS)
+
+    def test_trend_reproduces_pr_trajectory(self, tmp_path, capsys):
+        _seed_history(tmp_path)
+        capsys.readouterr()
+        assert ledgercli.main(["--ledger-dir", str(tmp_path), "trend"]) == 0
+        out = capsys.readouterr().out
+        lines = [l for l in out.splitlines() if "BENCH_PR" in l]
+        assert len(lines) == 3
+        # The committed history: scalar 1563 -> scalar 2394 / batch 3410
+        # -> vector 8748, oldest first.
+        assert "scalar 1,563" in lines[0]
+        assert "scalar 2,394" in lines[1] and "batch 3,410" in lines[1]
+        assert "vector 8,748" in lines[2]
+        assert "1,563 -> 8,748" in out
+
+    def test_regressions_window(self, tmp_path, capsys):
+        ledger = RunLedger(str(tmp_path))
+        # Synthetic history: stable 10ms cells, newest run 20% slower.
+        cell = lambda s: {"bare": {"best_s": s, "iters_per_s": 48 / s}}
+        for i, best in enumerate((0.010, 0.010, 0.010, 0.012)):
+            ledger.record_bench(
+                {"benchmark": "simulator-throughput", "seq": i,
+                 "engines": {"scalar": cell(best)}},
+                label=f"point-{i}",
+            )
+        rc = ledgercli.main(
+            ["--ledger-dir", str(tmp_path), "regressions",
+             "--window", "3", "--threshold", "15", "--strict"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "scalar/bare slowed +20.0%" in out
+
+    def test_benchdiff_from_ledger_median(self, tmp_path, capsys):
+        ledger = RunLedger(str(tmp_path))
+        for i, best in enumerate((0.010, 0.020, 0.030)):
+            ledger.record_bench(
+                {"benchmark": "simulator-throughput", "seq": i,
+                 "engines": {"scalar": {"bare": {"best_s": best}}}},
+                label=f"p{i}",
+            )
+        current = tmp_path / "now.json"
+        current.write_text(json.dumps(
+            {"engines": {"scalar": {"bare": {"best_s": 0.020}}}}
+        ))
+        rc = benchdiff.main(
+            [str(current), "--from-ledger", "3",
+             "--ledger-dir", str(tmp_path), "--strict"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0  # current == median(10, 20, 30)ms == 20ms
+        assert "+0.0%" in out
+
+    def test_run_bench_archives(self, tmp_path):
+        from repro.experiments.bench import run_bench
+
+        ledger = RunLedger(str(tmp_path))
+        out = tmp_path / "bench.json"
+        text = run_bench(out=str(out), reps=1, ledger=ledger)
+        assert "archived as ledger record" in text
+        (entry,) = ledger.records(kind="bench")
+        doc = ledger.lookup(entry["key"])["bench"]
+        assert doc == json.loads(out.read_text())
+        assert set(entry["bare_iters_per_s"]) == {"scalar", "batch", "vector"}
+
+
+# ----------------------------------------------------------------------
+# CLI verb family
+# ----------------------------------------------------------------------
+class TestLedgerCli:
+    def _record_two_runs(self, root):
+        ledger = RunLedger(str(root))
+        params = small_test_params(4)
+        run_hw(_loop(), params, _static(ledger=ledger))
+        run_hw(_loop(), params, _static(engine="batch", ledger=ledger))
+        return [e["key"] for e in ledger.records()]
+
+    def test_list_and_show(self, tmp_path, capsys):
+        keys = self._record_two_runs(tmp_path)
+        assert ledgercli.main(["--ledger-dir", str(tmp_path), "list"]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out and "HW/scalar" in out and "HW/batch" in out
+        assert ledgercli.main(
+            ["--ledger-dir", str(tmp_path), "show", keys[0][:12]]
+        ) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["key"] == keys[0] and doc["result"]["passed"] is True
+
+    def test_diff(self, tmp_path, capsys):
+        keys = self._record_two_runs(tmp_path)
+        assert ledgercli.main(
+            ["--ledger-dir", str(tmp_path), "diff", keys[0], keys[1]]
+        ) == 0
+        out = capsys.readouterr().out
+        # scalar and batch runs are bit-identical except for provenance
+        # (the engine knob enters the config hash).
+        assert "differing field" in out
+        assert "config_hash" in out
+
+    def test_experiments_cli_dispatches_ledger_verb(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["ledger", "--ledger-dir", str(tmp_path), "list"]) == 0
+        assert "no records" in capsys.readouterr().out

@@ -439,6 +439,45 @@ class TestProvenance:
         assert doc["provenance"]["config_hash"] == result.provenance.config_hash
         assert "metrics" in doc
 
+    def test_sets_canonicalize_as_sorted_lists(self):
+        # Sets used to fall through _jsonable to repr(), whose
+        # iteration order is hash-seed dependent — the same value would
+        # fingerprint differently across processes.
+        from repro.obs import canonical_json, fingerprint
+
+        assert canonical_json({"s": {"c", "a", "b"}}) == '{"s":["a","b","c"]}'
+        assert canonical_json(frozenset({3, 1, 2})) == "[1,2,3]"
+        assert fingerprint({"s": frozenset({"x", "y"})}) == fingerprint(
+            {"s": ["x", "y"]}
+        )
+
+    def test_set_fingerprint_stable_across_hash_seeds(self):
+        # Rendering must not depend on the interpreter's string hash
+        # seed (it changes per process unless PYTHONHASHSEED is pinned).
+        import os
+        import subprocess
+        import sys
+
+        import repro
+
+        src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        script = (
+            "from repro.obs import fingerprint; "
+            "print(fingerprint({'procs': frozenset(['p%d' % i "
+            "for i in range(32)])}))"
+        )
+        digests = {
+            subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONPATH": src, "PYTHONHASHSEED": seed},
+                capture_output=True,
+                text=True,
+                check=True,
+            ).stdout.strip()
+            for seed in ("1", "2026")
+        }
+        assert len(digests) == 1, digests
+
 
 # ----------------------------------------------------------------------
 # Exporters
