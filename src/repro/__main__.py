@@ -1,0 +1,12 @@
+"""``python -m repro``: the package's command line.
+
+Dispatches to the experiments CLI (:mod:`repro.experiments.cli`),
+which also routes the ``ledger`` and ``modelcheck`` verb families.
+"""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -239,6 +239,12 @@ def main(argv: "List[str] | None" = None) -> int:
         from . import ledgercli
 
         return ledgercli.main(argv[1:])
+    if argv and argv[0] == "modelcheck":
+        # Exhaustive small-config model checking of the speculation
+        # protocols; its own grammar, dispatched the same way.
+        from ..modelcheck import cli as modelcheckcli
+
+        return modelcheckcli.main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the evaluation of 'Hardware for Speculative "
@@ -249,7 +255,8 @@ def main(argv: "List[str] | None" = None) -> int:
         nargs="+",
         choices=sorted(EXPERIMENTS) + ["all"],
         help="which tables/figures to regenerate (plus the 'ledger' "
-        "verb family: ledger list/show/diff/import/trend/regressions)",
+        "verb family: ledger list/show/diff/import/trend/regressions; "
+        "and 'modelcheck' for exhaustive protocol model checking)",
     )
     parser.add_argument(
         "--preset",

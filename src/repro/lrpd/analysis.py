@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
+from ..types import ProtocolKind
 from .shadow import LRPDState, ShadowMergeResult
 
 
@@ -74,6 +75,57 @@ def analyze_array(
     if bool(np.any((merged.aw != 0) & (merged.anp != 0))):
         return read_in_rescue("not-privatizable")
     return ArrayAnalysis(name, True, "privatized", atw, atm)
+
+
+def serial_access_verdict(
+    protocol: ProtocolKind,
+    rows: Iterable[Tuple[int, int, int, int]],
+) -> bool:
+    """The iteration-serial pass/fail verdict a protocol must reach.
+
+    ``rows`` lists every access to one array as ``(proc, virt, elem,
+    is_write)``, where ``virt`` is the virtual iteration number and
+    rows of the same ``(proc, virt)`` appear in program order.  An
+    access is *read-first* when it is the first access of its
+    ``(proc, virt, elem)`` group and a read — the per-iteration tag/
+    table bits make any later same-iteration access invisible to the
+    protocols, so only these group-leading accesses matter:
+
+    * NONPRIV fails iff some element is written and touched by two or
+      more distinct processors (§3.1's privatization-free criterion);
+    * PRIV fails iff some element has a read-first in a higher-numbered
+      iteration than some write (max ``R1st`` > min ``W``, §3.2-§3.3 —
+      exact for time-stamped runs too, since raw iteration order
+      refines the per-epoch effective order plus ``WrittenPast``);
+    * PRIV_SIMPLE fails iff some element has any read-first and any
+      write at all (the §4.1 ``AnyR1st``/``AnyW`` reduction, which the
+      per-processor ``WriteAny`` bit extends across iterations).
+
+    Pure and interleaving-invariant: the model checker's ground truth
+    for every terminal state, and what the minimizer re-tests against.
+    """
+    seen: set = set()
+    read_first: Dict[int, List[int]] = {}
+    writes: Dict[int, List[int]] = {}
+    touched: Dict[int, set] = {}
+    for proc, virt, elem, is_write in rows:
+        touched.setdefault(elem, set()).add(proc)
+        group = (proc, virt, elem)
+        if is_write:
+            writes.setdefault(elem, []).append(virt)
+        elif group not in seen:
+            read_first.setdefault(elem, []).append(virt)
+        seen.add(group)
+    if protocol is ProtocolKind.NONPRIV:
+        return not any(len(touched[e]) > 1 for e in writes)
+    if protocol is ProtocolKind.PRIV:
+        return not any(
+            e in read_first and max(read_first[e]) > min(writes[e])
+            for e in writes
+        )
+    if protocol is ProtocolKind.PRIV_SIMPLE:
+        return not any(e in read_first for e in writes)
+    raise ValueError(f"no serial verdict defined for protocol {protocol}")
 
 
 def analyze(state: LRPDState) -> LRPDOutcome:

@@ -36,6 +36,24 @@ def legal_transition(
     return kind is None or kind in kinds
 
 
+def next_dir_state(prev: DirState, kind: AccessKind) -> DirState:
+    """The directory state a data request of ``kind`` drives ``prev``
+    to under the base protocol: reads end SHARED, writes end DIRTY.
+
+    A pure transition function (no Directory instance, no occupancy)
+    for external drivers such as the model checker
+    (:mod:`repro.modelcheck`); it validates the move against
+    :data:`LEGAL_DIR_TRANSITIONS` so an illegal request raises instead
+    of silently producing an unreachable state.
+    """
+    new = DirState.SHARED if kind is AccessKind.READ else DirState.DIRTY
+    if new is prev:
+        return prev
+    if not legal_transition(prev, new, kind):
+        raise ValueError(f"illegal directory transition {prev} -> {new} on {kind}")
+    return new
+
+
 @dataclasses.dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one memory line."""

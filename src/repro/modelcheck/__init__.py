@@ -1,0 +1,39 @@
+"""Exhaustive small-config model checking of the speculation protocols.
+
+The package expresses the NONPRIV, PRIV and PRIV_SIMPLE state machines
+of the paper (Figs 6-9 plus the reduced variant of §4.1) as explicit
+guarded transitions over per-element access-bit state, derived
+directory state and a pending-message multiset, then explores *all*
+interleavings (and, in free-program mode, all programs) of tiny
+configurations by BFS with canonical state hashing and symmetry
+reduction over processor permutations.
+
+Every reachable terminal state is cross-checked four ways:
+
+* against the iteration-serial predicate each protocol decides
+  (:func:`repro.lrpd.analysis.serial_access_verdict`);
+* against the dependence oracle (:mod:`repro.trace.oracle`);
+* against the online invariant monitors (:mod:`repro.obs.monitor`),
+  by replaying the witness transition trace through a fresh event bus;
+* against the real scalar engine run on the equivalent concrete
+  schedule, compared through the differential harness's verdict
+  signature (:mod:`repro.testing.diffcheck`).
+
+Any divergence is minimized and emitted as a standalone reproducer in
+the style of :mod:`repro.obs.forensics`.  See ``docs/correctness.md``.
+"""
+
+from .crosscheck import CheckReport, check_config
+from .explorer import ExploreResult, explore
+from .model import ModelConfig, ProtocolModel
+from .reproduce import DivergenceReport
+
+__all__ = [
+    "CheckReport",
+    "DivergenceReport",
+    "ExploreResult",
+    "ModelConfig",
+    "ProtocolModel",
+    "check_config",
+    "explore",
+]

@@ -1,0 +1,166 @@
+"""Breadth-first exhaustive exploration of a protocol model.
+
+States are deduplicated by their canonical hash key
+(:meth:`repro.modelcheck.model.ProtocolModel.canon`), which folds the
+sound processor permutations into one representative.  The *stored*
+state for each key is always the first concrete representative
+encountered, and successors are always expanded from it — so every
+stored edge connects two concrete, engine-realizable states and the
+parent-chain walk reconstructs a genuine execution (a witness trace)
+for any reachable state.
+
+Terminal states are the runs that finished: ``DONE`` (commit succeeded)
+or ``FAILED`` (a protocol guard fired).  A ``max_states`` cap turns an
+exhaustive run into a truncated one, flagged in the result; the tier-1
+configurations are small enough to never truncate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .model import DONE, FAILED, Access, ModelConfig, MState, ProtocolModel
+
+__all__ = ["ExploreResult", "Node", "explore"]
+
+
+@dataclasses.dataclass
+class Node:
+    """One canonical state plus the BFS tree edge that first reached it."""
+
+    state: MState
+    depth: int
+    parent: Optional[tuple]
+    action: Optional[str]
+    #: timeless ``(EventClass, kwargs)`` pairs emitted on the in-edge
+    events: Tuple[tuple, ...]
+
+
+@dataclasses.dataclass
+class ExploreResult:
+    """Outcome of one exhaustive (or capped) exploration."""
+
+    config: ModelConfig
+    nodes: Dict[tuple, Node]
+    #: canonical keys of terminal states (DONE or FAILED)
+    terminals: List[tuple]
+    transitions: int
+    max_depth: int
+    truncated: bool
+    symmetry: bool
+
+    @property
+    def states(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    def witness(self, key: tuple) -> List[object]:
+        """Instantiate the event trace of the BFS path reaching ``key``,
+        stamping each event with the depth of the edge that emitted it
+        (a strictly increasing pseudo-clock, good enough for the
+        monitors' ordering expectations)."""
+        edges: List[Node] = []
+        cur: Optional[tuple] = key
+        while cur is not None:
+            node = self.nodes[cur]
+            edges.append(node)
+            cur = node.parent
+        edges.reverse()
+        out: List[object] = []
+        for node in edges:
+            for cls, kwargs in node.events:
+                out.append(cls(time=float(node.depth), **kwargs))
+        return out
+
+    def actions(self, key: tuple) -> List[str]:
+        """The action labels along the BFS path reaching ``key``."""
+        labels: List[str] = []
+        cur: Optional[tuple] = key
+        while cur is not None:
+            node = self.nodes[cur]
+            if node.action is not None:
+                labels.append(node.action)
+            cur = node.parent
+        labels.reverse()
+        return labels
+
+    def program_of(self, key: tuple) -> Tuple[Tuple[Tuple[Access, ...], ...], ...]:
+        """The per-processor program (accesses grouped by iteration)
+        that the state at ``key`` executed.  For a FAILED state this is
+        the executed *prefix* — exactly the program whose concrete run
+        the engine cross-check replays."""
+        st = self.nodes[key].state
+        cfg = self.config
+        programs: List[Tuple[Tuple[Access, ...], ...]] = []
+        for p in range(cfg.procs):
+            accesses = st.hist[p]
+            if cfg.programs is not None:
+                shape = [len(body) for body in cfg.programs[p]]
+            else:
+                shape = [cfg.ops_per_iter] * cfg.iters
+            body: List[Tuple[Access, ...]] = []
+            taken = 0
+            for n in shape:
+                if taken >= len(accesses):
+                    break
+                body.append(tuple(accesses[taken:taken + n]))
+                taken += n
+            programs.append(tuple(body))
+        return tuple(programs)
+
+
+def explore(
+    config_or_model: "ModelConfig | ProtocolModel",
+    max_states: Optional[int] = None,
+) -> ExploreResult:
+    """Exhaustively enumerate the reachable states of a model by BFS."""
+    model = (
+        config_or_model
+        if isinstance(config_or_model, ProtocolModel)
+        else ProtocolModel(config_or_model)
+    )
+    root = model.initial_state()
+    root_key = model.canon(root)
+    nodes: Dict[tuple, Node] = {
+        root_key: Node(state=root, depth=0, parent=None, action=None, events=())
+    }
+    queue = deque([root_key])
+    terminals: List[tuple] = []
+    transitions = 0
+    max_depth = 0
+    truncated = False
+    while queue:
+        key = queue.popleft()
+        node = nodes[key]
+        edges = model.successors(node.state)
+        if not edges:
+            terminals.append(key)
+            continue
+        for edge in edges:
+            transitions += 1
+            child_key = model.canon(edge.state)
+            if child_key in nodes:
+                continue
+            if max_states is not None and len(nodes) >= max_states:
+                truncated = True
+                continue
+            nodes[child_key] = Node(
+                state=edge.state,
+                depth=node.depth + 1,
+                parent=key,
+                action=edge.action,
+                events=edge.events,
+            )
+            max_depth = max(max_depth, node.depth + 1)
+            queue.append(child_key)
+    return ExploreResult(
+        config=model.cfg,
+        nodes=nodes,
+        terminals=terminals,
+        transitions=transitions,
+        max_depth=max_depth,
+        truncated=truncated,
+        symmetry=model.symmetric,
+    )

@@ -1,0 +1,1233 @@
+"""Guarded-transition model of the three speculation protocols.
+
+The model mirrors, transition for transition, what the scalar engine's
+memory system (:mod:`repro.memsys.system`) and protocol implementations
+(:mod:`repro.core.nonpriv`, :mod:`repro.core.privatization`) do to the
+per-element access bits, the cache-line tag copies and the directory
+tables — but over an abstract small configuration, with protocol
+messages held in an explicitly explorable pending multiset instead of a
+timed scheduler.  Geometry is fixed at one element per cache line and
+caches large enough that nothing is ever evicted, which is exactly the
+regime the equivalent concrete engine runs are configured for
+(:mod:`repro.modelcheck.crosscheck`).
+
+A state is: per-processor executed access history, the protocol's
+directory tables, every cached line copy with its tag bits, the pending
+message multiset, the time-stamp epoch and a run status.  Transitions:
+
+* ``access`` — one processor executes its next read/write (in free mode
+  the choice of element and kind branches, folding program enumeration
+  into the state space); the full memsys hit/upgrade/fetch/recall
+  sequence runs synchronously, exactly as in the engine;
+* ``deliver`` — one pending protocol message is consumed.  Messages
+  live in per-channel FIFO queues keyed by (hop, processor): protocol
+  messages on one point-to-point channel share a constant network
+  delay in the engine, so they can never overtake each other, while
+  messages on *different* channels (another processor's signals, the
+  cache->home vs home->shared hops) race freely.  The model delivers
+  any channel head next — the exact superset of orderings the engine's
+  timed scheduler can realize across configurations;
+* ``epoch-sync`` — with ``timestamp_bits``, once every processor has
+  drained the current epoch and no messages are pending (the engine
+  flushes before syncing);
+* ``commit`` / ``finish`` — all work done and messages drained: the
+  non-privatization loop-end writeback merge runs (it can FAIL), the
+  privatization variants simply complete.
+
+Failure is terminal: the engine's controller keeps the first failure
+and drops deliveries afterwards, so the model stops there too.
+
+Every transition also yields the telemetry events the engine would emit
+(directory updates on change only, protocol messages at send time,
+coherence transitions, failures), so a terminal state's witness trace
+can be replayed through the online monitors unchanged.
+
+Injected faults (test-only): ``ModelConfig.faults`` names FAIL guards
+to skip, turning a correct protocol into a subtly broken one so the
+cross-checkers can prove they would catch a real bug.  Guard names:
+``np-tag-read``, ``np-tag-write``, ``np-dir-read``, ``np-dir-write``,
+``np-merge-ronly``, ``np-merge-first``, ``np-fu-race``, ``np-fuf-wrote``,
+``np-ru-race``, ``pv-rf-past``, ``pv-rf-order``, ``pv-fw-order``,
+``pv-readin-past``, ``pv-readin-order``, ``pv-readin-write``,
+``ps-local-wany``, ``ps-shared-read``, ``ps-shared-write``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..memsys.directory import next_dir_state
+from ..obs.events import (
+    DirTransitionEvent,
+    EpochSyncEvent,
+    FailureEvent,
+    NonPrivDirUpdateEvent,
+    PrivDirUpdateEvent,
+    PrivSimpleDirUpdateEvent,
+    ProtocolMessageEvent,
+)
+from ..runtime.phases import segment_of
+from ..types import AccessKind, DirState, ProtocolKind
+
+__all__ = ["ARRAY", "ModelConfig", "MState", "ProtocolModel", "RUN", "DONE", "FAILED"]
+
+#: the single array under test
+ARRAY = "A"
+
+RUN, DONE, FAILED = 0, 1, 2
+
+#: tag First summaries (NonPrivTagBits.first)
+FS_NONE, FS_OWN, FS_OTHER = 0, 1, 2
+
+_NO_PROC = -1
+_NO_ITER = 0
+
+#: synthetic element size / line size (one element per line)
+_ELEM_BYTES = 8
+#: address stride separating the shared array from each private copy
+_COPY_STRIDE = 0x10000
+
+#: program over one access slot: (is_write, element)
+Access = Tuple[int, int]
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelConfig:
+    """One model-checking configuration (tiny by construction)."""
+
+    protocol: ProtocolKind
+    procs: int = 2
+    elements: int = 2
+    #: iterations per processor
+    iters: int = 1
+    #: access slots per iteration (free mode)
+    ops_per_iter: int = 2
+    #: PRIV only: time-stamp width; capacity ``2**bits - 1`` effective
+    #: iterations per epoch, round-robin virtual numbering (the engine's
+    #: BLOCK_CYCLIC/chunk=1/CHUNK schedule).  ``None``: unbounded
+    #: stamps, contiguous numbering (STATIC_CHUNK/ITERATION).
+    timestamp_bits: Optional[int] = None
+    #: warm root: every processor starts with clean copies of its
+    #: backup-phase segment resident (NONPRIV only)
+    warm: bool = False
+    #: fixed per-processor programs (minimization / fault repro mode);
+    #: ``None`` explores every program of the free shape
+    programs: Optional[Tuple[Tuple[Tuple[Access, ...], ...], ...]] = None
+    #: FAIL guards to skip (test-only fault injection)
+    faults: FrozenSet[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.protocol not in (
+            ProtocolKind.NONPRIV, ProtocolKind.PRIV, ProtocolKind.PRIV_SIMPLE
+        ):
+            raise ValueError(f"cannot model-check protocol {self.protocol}")
+        if self.timestamp_bits is not None and self.protocol is not ProtocolKind.PRIV:
+            raise ValueError("timestamp_bits only applies to the PRIV protocol")
+        if self.warm and self.protocol is not ProtocolKind.NONPRIV:
+            raise ValueError(
+                "warm roots model the backup-phase residency of the shared "
+                "array; privatized arrays are never backed up, so their "
+                "private copies always start cold"
+            )
+        if self.programs is not None and len(self.programs) != self.procs:
+            raise ValueError("programs must list one program per processor")
+
+    # ------------------------------------------------------------------
+    @property
+    def round_robin(self) -> bool:
+        return self.timestamp_bits is not None
+
+    @property
+    def capacity(self) -> int:
+        """Effective iterations per time-stamp epoch."""
+        if self.timestamp_bits is None:
+            return 1 << 62
+        return (1 << self.timestamp_bits) - 1
+
+    def virt(self, proc: int, local_iter: int) -> int:
+        """Virtual iteration number of ``proc``'s ``local_iter``-th
+        (1-based) iteration under the equivalent concrete schedule."""
+        if self.round_robin:
+            return (local_iter - 1) * self.procs + proc + 1
+        return proc * self.iters + local_iter
+
+    def eff(self, virt: int) -> int:
+        """Effective (post-overflow-reset) iteration number (§3.3)."""
+        return (virt - 1) % self.capacity + 1
+
+    def epoch_of(self, virt: int) -> int:
+        return (virt - 1) // self.capacity
+
+    def proc_of_virt(self, virt: int) -> int:
+        if self.round_robin:
+            return (virt - 1) % self.procs
+        return (virt - 1) // self.iters
+
+    def flat_program(self, proc: int) -> Optional[List[Tuple[int, int, int]]]:
+        """Fixed mode: flat ``(local_iter, is_write, element)`` slots."""
+        if self.programs is None:
+            return None
+        return [
+            (j + 1, acc[0], acc[1])
+            for j, body in enumerate(self.programs[proc])
+            for acc in body
+        ]
+
+
+class MState:
+    """One mutable model state (frozen to tuples for hashing)."""
+
+    __slots__ = (
+        "pos", "hist", "status", "failure", "msgs", "epoch",
+        "np_dir", "np_line",
+        "pv_shared", "pv_priv", "pv_line",
+        "ps_shared", "ps_priv", "ps_pline", "ps_sline",
+    )
+
+    def __init__(self) -> None:
+        self.pos: List[int] = []
+        self.hist: List[Tuple[Access, ...]] = []
+        self.status = RUN
+        #: (reason, element_index, proc, iteration) of the first failure
+        self.failure: Optional[Tuple[str, int, Optional[int], Optional[int]]] = None
+        #: pending protocol messages: FIFO queue per point-to-point
+        #: channel ``(hop-label, proc)``; empty channels are removed
+        self.msgs: Dict[tuple, List[tuple]] = {}
+        self.epoch = 0
+        # NONPRIV: directory [first, priv, ronly] per element; cached
+        # copy per (proc, element): None | [dirty, tfirst, tpriv, tronly]
+        self.np_dir: List[List] = []
+        self.np_line: List[List] = []
+        # PRIV: shared [max_r1st, min_w, written_past]; private
+        # [pmax_r1st, pmax_w]; line None | [dirty, r1st, write, tag_iter]
+        self.pv_shared: List[List] = []
+        self.pv_priv: List[List] = []
+        self.pv_line: List[List] = []
+        # PRIV_SIMPLE: shared [any_r1st, any_w]; private
+        # [read1st, write, iter, write_any]; private line None | [1]
+        # (always dirty) with tag in ps_ptag...
+        self.ps_shared: List[List] = []
+        self.ps_priv: List[List] = []
+        #: private-copy line per (proc, element): None | [r1st, w, tag_iter]
+        self.ps_pline: List[List] = []
+        #: shared-copy clean line per (proc, element): None | [r1st, w, tag_iter]
+        self.ps_sline: List[List] = []
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "MState":
+        st = MState.__new__(MState)
+        st.pos = list(self.pos)
+        st.hist = list(self.hist)
+        st.status = self.status
+        st.failure = self.failure
+        st.msgs = {chan: list(queue) for chan, queue in self.msgs.items()}
+        st.epoch = self.epoch
+        st.np_dir = [list(d) for d in self.np_dir]
+        st.np_line = [
+            [None if c is None else list(c) for c in row] for row in self.np_line
+        ]
+        st.pv_shared = [list(d) for d in self.pv_shared]
+        st.pv_priv = [[list(c) for c in row] for row in self.pv_priv]
+        st.pv_line = [
+            [None if c is None else list(c) for c in row] for row in self.pv_line
+        ]
+        st.ps_shared = [list(d) for d in self.ps_shared]
+        st.ps_priv = [[list(c) for c in row] for row in self.ps_priv]
+        st.ps_pline = [
+            [None if c is None else list(c) for c in row] for row in self.ps_pline
+        ]
+        st.ps_sline = [
+            [None if c is None else list(c) for c in row] for row in self.ps_sline
+        ]
+        return st
+
+
+@dataclasses.dataclass
+class Edge:
+    """One explored transition: action label, emitted events (as
+    ``(EventClass, kwargs)`` pairs, timeless — the witness builder
+    stamps the BFS depth), successor state."""
+
+    action: str
+    events: Tuple[tuple, ...]
+    state: MState
+
+
+class ProtocolModel:
+    """Transition relation for one :class:`ModelConfig`."""
+
+    def __init__(self, config: ModelConfig) -> None:
+        self.cfg = config
+        self._choices: List[Access] = [
+            (w, e) for e in range(config.elements) for w in (0, 1)
+        ]
+        self._flat = (
+            None
+            if config.programs is None
+            else [config.flat_program(p) for p in range(config.procs)]
+        )
+
+    # ------------------------------------------------------------------
+    # Roots
+    # ------------------------------------------------------------------
+    def initial_state(self) -> MState:
+        cfg = self.cfg
+        P, E = cfg.procs, cfg.elements
+        st = MState()
+        st.pos = [0] * P
+        st.hist = [()] * P
+        if cfg.protocol is ProtocolKind.NONPRIV:
+            st.np_dir = [[_NO_PROC, False, False] for _ in range(E)]
+            st.np_line = [[None] * E for _ in range(P)]
+            if cfg.warm:
+                # Backup-phase residency: each processor read its own
+                # contiguous segment before arm(); arm() cleared the
+                # spec tags but the clean copies stay resident and the
+                # home directories remember the sharers.
+                for p in range(P):
+                    lo, hi = segment_of(E, p, P)
+                    for e in range(lo, hi):
+                        st.np_line[p][e] = [0, FS_NONE, False, False]
+        elif cfg.protocol is ProtocolKind.PRIV:
+            st.pv_shared = [[0, _NO_ITER, False] for _ in range(E)]
+            st.pv_priv = [[[0, 0] for _ in range(E)] for _ in range(P)]
+            st.pv_line = [[None] * E for _ in range(P)]
+        else:
+            st.ps_shared = [[False, False] for _ in range(E)]
+            st.ps_priv = [[[False, False, -1, False] for _ in range(E)]
+                          for _ in range(P)]
+            st.ps_pline = [[None] * E for _ in range(P)]
+            st.ps_sline = [[None] * E for _ in range(P)]
+        return st
+
+    # ------------------------------------------------------------------
+    # Program shape
+    # ------------------------------------------------------------------
+    def total_ops(self, proc: int) -> int:
+        if self._flat is not None:
+            return len(self._flat[proc])
+        return self.cfg.iters * self.cfg.ops_per_iter
+
+    def _next_slot(self, st: MState, proc: int) -> Optional[Tuple[int, Optional[Access]]]:
+        """``(local_iter, fixed_access | None)`` of the next slot, or
+        ``None`` when the processor is done."""
+        pos = st.pos[proc]
+        if self._flat is not None:
+            flat = self._flat[proc]
+            if pos >= len(flat):
+                return None
+            j, w, e = flat[pos]
+            return j, (w, e)
+        if pos >= self.total_ops(proc):
+            return None
+        return pos // self.cfg.ops_per_iter + 1, None
+
+    def _epoch_ok(self, st: MState, proc: int, local_iter: int) -> bool:
+        return self.cfg.epoch_of(self.cfg.virt(proc, local_iter)) == st.epoch
+
+    # ------------------------------------------------------------------
+    # Transition enumeration
+    # ------------------------------------------------------------------
+    def successors(self, st: MState) -> List[Edge]:
+        if st.status != RUN:
+            return []
+        cfg = self.cfg
+        edges: List[Edge] = []
+        # Message deliveries: the head of each non-empty FIFO channel.
+        for chan in sorted(st.msgs):
+            msg = st.msgs[chan][0]
+            nxt = st.copy()
+            queue = nxt.msgs[chan]
+            queue.pop(0)
+            if not queue:
+                del nxt.msgs[chan]
+            ev: List[tuple] = []
+            self._deliver(nxt, msg, ev)
+            edges.append(Edge(f"deliver:{msg[0]}", tuple(ev), nxt))
+        # Processor accesses.
+        any_runnable = False
+        all_done = True
+        for p in range(cfg.procs):
+            slot = self._next_slot(st, p)
+            if slot is None:
+                continue
+            all_done = False
+            j, fixed = slot
+            if not self._epoch_ok(st, p, j):
+                continue
+            any_runnable = True
+            for (w, e) in ([fixed] if fixed is not None else self._choices):
+                nxt = st.copy()
+                nxt.pos[p] += 1
+                nxt.hist[p] = nxt.hist[p] + ((w, e),)
+                ev = []
+                self._access(nxt, p, j, w, e, ev)
+                kind = "w" if w else "r"
+                edges.append(Edge(f"P{p}:{kind}{e}@{j}", tuple(ev), nxt))
+        # Epoch synchronization: every processor stalled at the epoch
+        # barrier, all messages flushed (the engine flushes first).
+        if (not all_done and not any_runnable and not st.msgs
+                and cfg.round_robin):
+            nxt = st.copy()
+            ev = []
+            self._epoch_sync(nxt, ev)
+            edges.append(Edge(f"epoch-sync:{st.epoch}", tuple(ev), nxt))
+        # Loop end: all work executed, every message drained.
+        if all_done and not st.msgs:
+            nxt = st.copy()
+            ev = []
+            if cfg.protocol is ProtocolKind.NONPRIV:
+                self._np_commit(nxt, ev)
+            if nxt.status == RUN:
+                nxt.status = DONE
+            edges.append(Edge("commit", tuple(ev), nxt))
+        return edges
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def _guard(self, name: str) -> bool:
+        """False when the named FAIL guard is fault-injected away."""
+        return name not in self.cfg.faults
+
+    @staticmethod
+    def _send(st: MState, chan: tuple, msg: tuple) -> None:
+        """Enqueue a protocol message on its point-to-point channel.
+        Same-channel messages deliver in FIFO order (the engine's
+        constant per-hop delays and time-ordered scheduler guarantee
+        this; delivering them out of order would explore interleavings
+        the hardware cannot produce)."""
+        st.msgs.setdefault(chan, []).append(msg)
+
+    def _fail(
+        self, st: MState, ev: List[tuple], prefix: str, reason: str,
+        elem: int, proc: Optional[int], iteration: Optional[int] = None,
+    ) -> None:
+        st.status = FAILED
+        st.failure = (f"{prefix}{reason}", elem, proc, iteration)
+        # In-flight deliveries are dropped once the controller failed.
+        st.msgs = {}
+        ev.append((FailureEvent, {
+            "reason": f"{prefix}{reason}",
+            "element": (ARRAY, elem),
+            "proc": proc,
+            "iteration": iteration,
+        }))
+
+    @staticmethod
+    def _line_addr(elem: int, copy: int = 0) -> int:
+        """Synthetic line address: copy 0 is the shared array, copy
+        ``p + 1`` the private copy of processor ``p``."""
+        return copy * _COPY_STRIDE + elem * _ELEM_BYTES
+
+    def _dir_event(
+        self, ev: List[tuple], elem: int, prev: DirState, new: DirState,
+        proc: int, kind: AccessKind, copy: int = 0,
+    ) -> None:
+        if prev is not new:
+            ev.append((DirTransitionEvent, {
+                "node": 0,
+                "line_addr": self._line_addr(elem, copy),
+                "prev": prev,
+                "new": new,
+                "proc": proc,
+                "kind": kind,
+            }))
+
+    @staticmethod
+    def _msg_event(
+        ev: List[tuple], label: str, proc: int, elem: int,
+        iteration: Optional[int] = None,
+    ) -> None:
+        ev.append((ProtocolMessageEvent, {
+            "label": label, "proc": proc, "array": ARRAY, "index": elem,
+            "iteration": iteration,
+        }))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _access(
+        self, st: MState, p: int, j: int, w: int, e: int, ev: List[tuple]
+    ) -> None:
+        proto = self.cfg.protocol
+        if proto is ProtocolKind.NONPRIV:
+            self._np_access(st, p, w, e, ev)
+        elif proto is ProtocolKind.PRIV:
+            self._pv_access(st, p, j, w, e, ev)
+        else:
+            self._ps_access(st, p, j, w, e, ev)
+
+    def _deliver(self, st: MState, msg: tuple, ev: List[tuple]) -> None:
+        handler = {
+            "FU": self._np_dir_first_update,
+            "RU": self._np_dir_ronly_update,
+            "FUF": self._np_cache_first_update_fail,
+            "LRF": self._pv_private_read_first,
+            "LFW": self._pv_private_first_write,
+            "SRF": self._pv_shared_read_first,
+            "SFW": self._pv_shared_first_write,
+            "LR": self._ps_private_read,
+            "LW": self._ps_private_write,
+            "SR": self._ps_shared_read,
+            "SW": self._ps_shared_write,
+        }[msg[0]]
+        handler(st, *msg[1:], ev)
+
+    # ==================================================================
+    # NONPRIV (Figs 6/7)
+    # ==================================================================
+    def _np_access(self, st: MState, p: int, w: int, e: int, ev: List[tuple]) -> None:
+        line = st.np_line[p][e]
+        if line is not None:
+            self._np_hit(st, p, e, w, line, ev)
+            if st.status != RUN:
+                return
+            if w and not line[0]:
+                # Write hit on a clean copy: upgrade through the home.
+                prev = self._np_dir_state(st, e)
+                for q in range(self.cfg.procs):
+                    if q != p:
+                        st.np_line[q][e] = None
+                self._np_dir_access(st, p, e, w, ev)
+                if st.status != RUN:
+                    return
+                self._dir_event(ev, e, prev, DirState.DIRTY, p, AccessKind.WRITE)
+                line[0] = 1
+                line[1], line[2], line[3] = self._np_tag_view(st, e, p)
+            return
+        # Miss: fetch through the home directory.
+        prev = self._np_dir_state(st, e)
+        owner = next(
+            (q for q in range(self.cfg.procs)
+             if st.np_line[q][e] is not None and st.np_line[q][e][0]),
+            None,
+        )
+        if owner is not None:
+            # Recall the dirty copy; its tag state merges at the home.
+            ob = st.np_line[owner][e]
+            st.np_line[owner][e] = None
+            self._np_merge_word(
+                st, owner, e, ob[1] == FS_OWN, ob[2], ob[3], ev
+            )
+            if st.status != RUN:
+                return
+            if not w:
+                # Read recall: the owner keeps a clean copy, tags intact.
+                st.np_line[owner][e] = [0, ob[1], ob[2], ob[3]]
+        if w:
+            for q in range(self.cfg.procs):
+                if q != p and st.np_line[q][e] is not None:
+                    st.np_line[q][e] = None
+        self._np_dir_access(st, p, e, w, ev)
+        if st.status != RUN:
+            return
+        kind = AccessKind.WRITE if w else AccessKind.READ
+        self._dir_event(ev, e, prev, next_dir_state(prev, kind), p, kind)
+        st.np_line[p][e] = [w, *self._np_tag_view(st, e, p)]
+
+    def _np_dir_state(self, st: MState, e: int) -> DirState:
+        """Coherence state of the shared line, derived from the copies."""
+        states = [row[e] for row in st.np_line if row[e] is not None]
+        if any(c[0] for c in states):
+            return DirState.DIRTY
+        return DirState.SHARED if states else DirState.UNCACHED
+
+    def _np_tag_view(self, st: MState, e: int, p: int) -> List:
+        first, priv, ronly = st.np_dir[e]
+        if first == _NO_PROC:
+            fs = FS_NONE
+        elif first == p:
+            fs = FS_OWN
+        else:
+            fs = FS_OTHER
+        return [fs, priv, ronly]
+
+    def _np_hit(
+        self, st: MState, p: int, e: int, w: int, line: List, ev: List[tuple]
+    ) -> None:
+        """Fig 6-(a)/(c): the tag-side check on a cache hit."""
+        dirty, fs = line[0], line[1]
+        if not w:
+            if fs == FS_OTHER and line[2] and self._guard("np-tag-read"):
+                self._fail(st, ev, "non-privatization: ",
+                           "read of element written by another processor (tag)",
+                           e, p)
+                return
+            if fs == FS_NONE:
+                line[1] = FS_OWN
+                if not dirty:
+                    self._msg_event(ev, "First_update", p, e)
+                    self._send(st, ("cd", p), ("FU", p, e))
+            elif fs == FS_OTHER and not line[3]:
+                line[3] = True
+                if not dirty:
+                    self._msg_event(ev, "ROnly_update", p, e)
+                    self._send(st, ("cd", p), ("RU", p, e))
+        else:
+            if (fs == FS_OTHER or line[3]) and self._guard("np-tag-write"):
+                self._fail(st, ev, "non-privatization: ",
+                           "write to element read/written by another "
+                           "processor (tag)", e, p)
+                return
+            line[1] = FS_OWN
+            line[2] = True
+
+    def _np_dir_access(
+        self, st: MState, p: int, e: int, w: int, ev: List[tuple]
+    ) -> None:
+        """Fig 6-(b)/(d): the home-side check on a data request."""
+        d = st.np_dir[e]
+        snap = tuple(d)
+        if not w:
+            if d[0] != p and d[0] != _NO_PROC and d[1] and self._guard("np-dir-read"):
+                self._fail(st, ev, "non-privatization: ",
+                           "read of element written by another processor (dir)",
+                           e, p)
+                return
+            if d[0] == _NO_PROC:
+                d[0] = p
+            elif d[0] != p and not d[2]:
+                d[2] = True
+        else:
+            if ((d[0] not in (p, _NO_PROC)) or d[2]) and self._guard("np-dir-write"):
+                self._fail(st, ev, "non-privatization: ",
+                           "write to element read/written by another "
+                           "processor (dir)", e, p)
+                return
+            if d[0] in (p, _NO_PROC) and not d[2]:
+                d[0] = p
+                d[1] = True
+        cause = "write-req" if w else "read-req"
+        self._np_update_event(ev, e, p, cause, snap, d)
+
+    @staticmethod
+    def _np_update_event(
+        ev: List[tuple], e: int, p: int, cause: str, snap: tuple, d: List
+    ) -> None:
+        if tuple(d) != snap:
+            ev.append((NonPrivDirUpdateEvent, {
+                "array": ARRAY, "index": e, "proc": p, "cause": cause,
+                "prev_first": snap[0], "prev_priv": snap[1],
+                "prev_ronly": snap[2],
+                "first": d[0], "priv": d[1], "ronly": d[2],
+            }))
+
+    def _np_merge_word(
+        self, st: MState, p: int, e: int, own: bool, priv: bool, ronly: bool,
+        ev: List[tuple],
+    ) -> None:
+        """Fig 6-(e): fold one recalled/committed dirty word's tag state
+        into the home directory."""
+        d = st.np_dir[e]
+        snap = tuple(d)
+        if own:
+            if priv:
+                if d[2] and self._guard("np-merge-ronly"):
+                    self._fail(st, ev, "non-privatization: ",
+                               "writeback reveals write to read-only element",
+                               e, p)
+                    return
+                if d[0] not in (_NO_PROC, p) and self._guard("np-merge-first"):
+                    self._fail(st, ev, "non-privatization: ",
+                               "writeback reveals write to element first "
+                               "accessed by another processor", e, p)
+                    return
+                d[0] = p
+                d[1] = True
+            else:
+                if d[0] == _NO_PROC:
+                    d[0] = p
+                elif d[0] != p:
+                    d[2] = True
+        if ronly:
+            d[2] = True
+        self._np_update_event(ev, e, p, "writeback", snap, d)
+
+    def _np_dir_first_update(self, st: MState, p: int, e: int, ev: List[tuple]) -> None:
+        """Fig 6-(f): the home receives a First_update."""
+        d = st.np_dir[e]
+        snap = tuple(d)
+        if d[1]:
+            if d[0] != p and self._guard("np-fu-race"):
+                self._fail(st, ev, "non-privatization: ",
+                           "race between a First_update and a write", e, p)
+            return
+        if d[0] == _NO_PROC:
+            d[0] = p
+            self._np_update_event(ev, e, p, "first-update", snap, d)
+        elif d[0] != p:
+            d[2] = True
+            self._np_update_event(ev, e, p, "first-update", snap, d)
+            self._msg_event(ev, "First_update_fail", p, e)
+            self._send(st, ("dc", p), ("FUF", p, e))
+
+    def _np_cache_first_update_fail(
+        self, st: MState, p: int, e: int, ev: List[tuple]
+    ) -> None:
+        """Fig 6-(g): the losing cache corrects its First summary."""
+        line = st.np_line[p][e]
+        if line is None:
+            return
+        if line[1] == FS_OWN and line[2] and self._guard("np-fuf-wrote"):
+            self._fail(st, ev, "non-privatization: ",
+                       "race between two First_updates: processor read and "
+                       "then wrote before losing the race", e, p)
+            return
+        line[1] = FS_OTHER
+        line[3] = True
+
+    def _np_dir_ronly_update(self, st: MState, p: int, e: int, ev: List[tuple]) -> None:
+        """Fig 7-(h): the home receives a ROnly_update."""
+        d = st.np_dir[e]
+        if d[1]:
+            if self._guard("np-ru-race"):
+                self._fail(st, ev, "non-privatization: ",
+                           "race between a ROnly_update and a write", e, p)
+            return
+        snap = tuple(d)
+        d[2] = True
+        self._np_update_event(ev, e, p, "ronly-update", snap, d)
+
+    def _np_commit(self, st: MState, ev: List[tuple]) -> None:
+        """Loop-end commit: write back every dirty line, merging its tag
+        state at the home (the merge itself can FAIL)."""
+        for p in range(self.cfg.procs):
+            for e in range(self.cfg.elements):
+                line = st.np_line[p][e]
+                if line is not None and line[0]:
+                    self._np_merge_word(
+                        st, p, e, line[1] == FS_OWN, line[2], line[3], ev
+                    )
+                    if st.status != RUN:
+                        return
+
+    # ==================================================================
+    # PRIV (Figs 8/9)
+    # ==================================================================
+    def _pv_access(
+        self, st: MState, p: int, j: int, w: int, e: int, ev: List[tuple]
+    ) -> None:
+        it = self.cfg.eff(self.cfg.virt(p, j))
+        line = st.pv_line[p][e]
+        if line is not None:
+            self._pv_hit(st, p, e, w, it, line, ev)
+            if st.status != RUN:
+                return
+            if w and not line[0]:
+                # Upgrade of the private line through its (local) home.
+                self._pv_dir_access(st, p, e, w, it, ev)
+                if st.status != RUN:
+                    return
+                self._dir_event(ev, e, DirState.SHARED, DirState.DIRTY, p,
+                                AccessKind.WRITE, copy=p + 1)
+                line[0] = 1
+                self._pv_fill(st, p, e, it, line)
+            return
+        # Miss: a never-cached private line (nothing evicts, nobody else
+        # touches it), so the directory is UNCACHED.
+        self._pv_dir_access(st, p, e, w, it, ev)
+        if st.status != RUN:
+            return
+        kind = AccessKind.WRITE if w else AccessKind.READ
+        self._dir_event(ev, e, DirState.UNCACHED, next_dir_state(DirState.UNCACHED, kind),
+                        p, kind, copy=p + 1)
+        line = [w, False, False, -1]
+        self._pv_fill(st, p, e, it, line)
+        st.pv_line[p][e] = line
+
+    @staticmethod
+    def _tag_get(line: List, it: int) -> Tuple[bool, bool]:
+        if line[3] == it:
+            return line[1], line[2]
+        return False, False
+
+    @staticmethod
+    def _tag_set(line: List, it: int, read1st: bool = False, write: bool = False) -> None:
+        if line[3] != it:
+            line[1] = line[2] = False
+            line[3] = it
+        line[1] = line[1] or read1st
+        line[2] = line[2] or write
+
+    def _pv_fill(self, st: MState, p: int, e: int, it: int, line: List) -> None:
+        t = st.pv_priv[p][e]
+        read1st = t[0] == it
+        wrote = t[1] == it
+        if read1st or wrote:
+            line[1], line[2], line[3] = read1st, wrote, it
+        else:
+            line[1], line[2], line[3] = False, False, -1
+
+    def _pv_hit(
+        self, st: MState, p: int, e: int, w: int, it: int, line: List,
+        ev: List[tuple],
+    ) -> None:
+        """Fig 8-(a)/9-(f): per-iteration tag bits gate the signals."""
+        read1st, wrote = self._tag_get(line, it)
+        if not w:
+            if not read1st and not wrote:
+                self._tag_set(line, it, read1st=True)
+                self._msg_event(ev, "read-first", p, e, it)
+                self._send(st, ("L", p), ("LRF", p, e, it))
+        else:
+            if not wrote:
+                self._tag_set(line, it, write=True)
+                self._msg_event(ev, "first-write", p, e, it)
+                self._send(st, ("L", p), ("LFW", p, e, it))
+
+    def _pv_dir_access(
+        self, st: MState, p: int, e: int, w: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Fig 8-(c)/9-(h): the private home on a data request.  One
+        element per line, so ``line_untouched`` is just this element's
+        private stamps."""
+        t = st.pv_priv[p][e]
+        untouched = t[0] == 0 and t[1] == 0
+        if not w:
+            if untouched:
+                self._pv_read_in(st, p, e, it, False, ev)
+                t[0] = it
+            elif t[0] < it and t[1] < it:
+                self._send(st, ("S", p), ("SRF", p, e, it))
+                t[0] = it
+        else:
+            if t[1] == _NO_ITER:
+                if untouched:
+                    self._pv_read_in(st, p, e, it, True, ev)
+                else:
+                    self._send(st, ("S", p), ("SFW", p, e, it))
+                t[1] = it
+            elif t[1] < it:
+                t[1] = it
+
+    def _pv_shared_event(
+        self, ev: List[tuple], e: int, p: int, it: int, cause: str,
+        snap: tuple, d: List,
+    ) -> None:
+        after = (d[0], d[1] if d[1] != _NO_ITER else None)
+        if after != snap:
+            ev.append((PrivDirUpdateEvent, {
+                "array": ARRAY, "index": e, "proc": p, "iteration": it,
+                "cause": cause,
+                "prev_max_r1st": snap[0], "prev_min_w": snap[1],
+                "max_r1st": after[0], "min_w": after[1],
+            }))
+
+    def _pv_snap(self, st: MState, e: int) -> tuple:
+        d = st.pv_shared[e]
+        return (d[0], d[1] if d[1] != _NO_ITER else None)
+
+    def _pv_read_in(
+        self, st: MState, p: int, e: int, it: int, for_write: bool,
+        ev: List[tuple],
+    ) -> None:
+        """Fig 8-(e)/9-(j): the blocking read-in check at the shared home."""
+        self._msg_event(ev, "read-in-for-write" if for_write else "read-in",
+                        p, e, it)
+        d = st.pv_shared[e]
+        snap = self._pv_snap(st, e)
+        if for_write:
+            if it < d[0] and self._guard("pv-readin-write"):
+                self._fail(st, ev, "privatization: ",
+                           f"write in iteration {it} of element read-first "
+                           f"in later iteration {d[0]} (read-in for write)",
+                           e, p, it)
+                return
+            if d[1] == _NO_ITER or it < d[1]:
+                d[1] = it
+            self._pv_shared_event(ev, e, p, it, "read-in-for-write", snap, d)
+        else:
+            if d[2] and self._guard("pv-readin-past"):
+                self._fail(st, ev, "privatization: ",
+                           "read-first of element written in an earlier "
+                           "time-stamp epoch (read-in)", e, p, it)
+                return
+            if d[1] != _NO_ITER and it > d[1] and self._guard("pv-readin-order"):
+                self._fail(st, ev, "privatization: ",
+                           f"read-first in iteration {it} of element written "
+                           f"in earlier iteration {d[1]} (read-in)", e, p, it)
+                return
+            if it > d[0]:
+                d[0] = it
+            self._pv_shared_event(ev, e, p, it, "read-in", snap, d)
+
+    def _pv_private_read_first(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Fig 8-(b): the private home learns of a read-first."""
+        t = st.pv_priv[p][e]
+        t[0] = max(t[0], it)
+        self._send(st, ("S", p), ("SRF", p, e, it))
+
+    def _pv_private_first_write(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Fig 9-(g): forward only the first write in the whole loop."""
+        t = st.pv_priv[p][e]
+        if t[1] == _NO_ITER:
+            t[1] = it
+            self._send(st, ("S", p), ("SFW", p, e, it))
+        elif t[1] < it:
+            t[1] = it
+
+    def _pv_shared_read_first(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Fig 8-(d): FAIL if a lower-numbered iteration already wrote."""
+        d = st.pv_shared[e]
+        if d[2] and self._guard("pv-rf-past"):
+            self._fail(st, ev, "privatization: ",
+                       "read-first of element written in an earlier "
+                       "time-stamp epoch", e, p, it)
+            return
+        if d[1] != _NO_ITER and it > d[1] and self._guard("pv-rf-order"):
+            self._fail(st, ev, "privatization: ",
+                       f"read-first in iteration {it} of element written "
+                       f"in earlier iteration {d[1]}", e, p, it)
+            return
+        snap = self._pv_snap(st, e)
+        if it > d[0]:
+            d[0] = it
+        self._pv_shared_event(ev, e, p, it, "read-first", snap, d)
+
+    def _pv_shared_first_write(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Fig 9-(i): FAIL if a higher-numbered iteration already
+        read-first."""
+        d = st.pv_shared[e]
+        if it < d[0] and self._guard("pv-fw-order"):
+            self._fail(st, ev, "privatization: ",
+                       f"write in iteration {it} of element read-first "
+                       f"in later iteration {d[0]}", e, p, it)
+            return
+        snap = self._pv_snap(st, e)
+        if d[1] == _NO_ITER or it < d[1]:
+            d[1] = it
+        self._pv_shared_event(ev, e, p, it, "first-write", snap, d)
+
+    def _epoch_sync(self, st: MState, ev: List[tuple]) -> None:
+        """§3.3 time-stamp overflow synchronization, post-flush: bump
+        the epoch, carry writes as ``written_past``, restart the private
+        stamps and clear every cached tag (the engine's address-
+        qualified tag reset walks all resident lines)."""
+        synced = st.epoch
+        st.epoch += 1
+        for d in st.pv_shared:
+            if d[1] != _NO_ITER:
+                d[2] = True
+            d[0] = 0
+            d[1] = _NO_ITER
+        for row in st.pv_priv:
+            for t in row:
+                t[0] = t[1] = 0
+        for row in st.pv_line:
+            for line in row:
+                if line is not None:
+                    line[1], line[2], line[3] = False, False, -1
+        ev.append((EpochSyncEvent, {"epoch": synced, "flushed_messages": 0}))
+
+    # ==================================================================
+    # PRIV_SIMPLE (§4.1, Fig 5-(b))
+    # ==================================================================
+    def _ps_wrote_before(self, st: MState, p: int, e: int) -> bool:
+        """Synchronous write knowledge: the engine's resolve() routes a
+        read to the private copy iff this processor already executed a
+        write of the element (its ``_sync_written`` set)."""
+        return any(w and x == e for (w, x) in st.hist[p][:-1])
+
+    def _ps_access(
+        self, st: MState, p: int, j: int, w: int, e: int, ev: List[tuple]
+    ) -> None:
+        it = self.cfg.virt(p, j)
+        if w or self._ps_wrote_before(st, p, e):
+            self._ps_private_access(st, p, w, e, it, ev)
+        else:
+            self._ps_shared_access(st, p, e, it, ev)
+
+    def _ps_private_access(
+        self, st: MState, p: int, w: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        line = st.ps_pline[p][e]
+        if line is not None:
+            # Private lines are created dirty by the first write and are
+            # never recalled, so every later routed access hits dirty.
+            self._ps_hit(st, p, e, w, it, line, ev)
+            return
+        # First write to the private copy: write miss, UNCACHED home.
+        t = st.ps_priv[p][e]
+        _, wrote = self._ps_table_get(t, it)
+        if not wrote:
+            self._msg_event(ev, "first-write", p, e, it)
+            self._send(st, ("L", p), ("LW", p, e, it))
+        self._dir_event(ev, e, DirState.UNCACHED, DirState.DIRTY, p,
+                        AccessKind.WRITE, copy=p + 1)
+        line = [False, False, -1]
+        self._ps_fill(st, p, e, it, line)
+        st.ps_pline[p][e] = line
+
+    def _ps_shared_access(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        line = st.ps_sline[p][e]
+        if line is not None:
+            self._ps_hit(st, p, e, 0, it, line, ev, shared_line=True)
+            return
+        # Read miss on the (loop-wide read-only) shared copy.
+        t = st.ps_priv[p][e]
+        read1st, wrote = self._ps_table_get(t, it)
+        if not read1st and not wrote:
+            self._msg_event(ev, "read-first", p, e, it)
+            self._send(st, ("L", p), ("LR", p, e, it))
+        prev = (DirState.SHARED
+                if any(row[e] is not None for row in st.ps_sline)
+                else DirState.UNCACHED)
+        self._dir_event(ev, e, prev, DirState.SHARED, p, AccessKind.READ)
+        line = [False, False, -1]
+        self._ps_fill(st, p, e, it, line)
+        st.ps_sline[p][e] = line
+
+    def _ps_hit(
+        self, st: MState, p: int, e: int, w: int, it: int, line: List,
+        ev: List[tuple], shared_line: bool = False,
+    ) -> None:
+        """Tag check on a hit; ``line`` is ``[r1st, write, tag_iter]``
+        for shared-copy lines and ``ps_pline`` private lines alike (the
+        private line's dirty coherence state is implicit)."""
+        if line[2] == it:
+            read1st, wrote = line[0], line[1]
+        else:
+            read1st, wrote = False, False
+        if not w:
+            if not read1st and not wrote:
+                if line[2] != it:
+                    line[0] = line[1] = False
+                    line[2] = it
+                line[0] = True
+                self._msg_event(ev, "read-first", p, e, it)
+                self._send(st, ("L", p), ("LR", p, e, it))
+        else:
+            if not wrote:
+                if line[2] != it:
+                    line[0] = line[1] = False
+                    line[2] = it
+                line[1] = True
+                self._msg_event(ev, "first-write", p, e, it)
+                self._send(st, ("L", p), ("LW", p, e, it))
+
+    @staticmethod
+    def _ps_table_get(t: List, it: int) -> Tuple[bool, bool]:
+        if t[2] == it:
+            return t[0], t[1]
+        return False, False
+
+    @staticmethod
+    def _ps_table_set(t: List, it: int, read1st: bool = False, write: bool = False) -> None:
+        if t[2] != it:
+            t[0] = t[1] = False
+            t[2] = it
+        if read1st:
+            t[0] = True
+        if write:
+            t[1] = True
+            t[3] = True
+
+    def _ps_fill(self, st: MState, p: int, e: int, it: int, line: List) -> None:
+        read1st, wrote = self._ps_table_get(st.ps_priv[p][e], it)
+        if read1st or wrote:
+            line[0], line[1], line[2] = read1st, wrote, it
+        else:
+            line[0], line[1], line[2] = False, False, -1
+
+    def _ps_private_read(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Private home receives a read-first signal."""
+        t = st.ps_priv[p][e]
+        read1st, wrote = self._ps_table_get(t, it)
+        if wrote or read1st:
+            return
+        if t[3] and self._guard("ps-local-wany"):
+            self._fail(st, ev, "privatization-simple: ",
+                       "read-first of element written in an earlier "
+                       "iteration (local WriteAny)", e, p, it)
+            return
+        self._ps_table_set(t, it, read1st=True)
+        self._send(st, ("S", p), ("SR", p, e, it))
+
+    def _ps_private_write(
+        self, st: MState, p: int, e: int, it: int, ev: List[tuple]
+    ) -> None:
+        """Private home receives a first-write signal."""
+        t = st.ps_priv[p][e]
+        _, wrote = self._ps_table_get(t, it)
+        if wrote:
+            return
+        was_any = t[3]
+        self._ps_table_set(t, it, write=True)
+        if not was_any:
+            self._send(st, ("S", p), ("SW", p, e, it))
+
+    def _ps_shared_update(
+        self, st: MState, p: int, e: int, it: int, is_write: bool,
+        ev: List[tuple],
+    ) -> None:
+        d = st.ps_shared[e]
+        snap = (d[0], d[1])
+        if is_write:
+            d[1] = True
+            if d[0] and self._guard("ps-shared-write"):
+                self._fail(st, ev, "privatization-simple: ",
+                           "element both read-first and written "
+                           "(AnyW after AnyR1st)", e, p, it)
+        else:
+            d[0] = True
+            if d[1] and self._guard("ps-shared-read"):
+                self._fail(st, ev, "privatization-simple: ",
+                           "element both read-first and written "
+                           "(AnyR1st after AnyW)", e, p, it)
+        # The engine snapshots before the check and emits after it, so
+        # the update event trails the failure event on the FAIL path.
+        if (d[0], d[1]) != snap:
+            ev.append((PrivSimpleDirUpdateEvent, {
+                "array": ARRAY, "index": e, "proc": p, "iteration": it,
+                "cause": "write" if is_write else "read-first",
+                "prev_any_r1st": snap[0], "prev_any_w": snap[1],
+                "any_r1st": d[0], "any_w": d[1],
+            }))
+
+    def _ps_shared_read(self, st: MState, p: int, e: int, it: int, ev: List[tuple]) -> None:
+        self._ps_shared_update(st, p, e, it, False, ev)
+
+    def _ps_shared_write(self, st: MState, p: int, e: int, it: int, ev: List[tuple]) -> None:
+        self._ps_shared_update(st, p, e, it, True, ev)
+
+    # ==================================================================
+    # Canonical hashing and symmetry reduction
+    # ==================================================================
+    @property
+    def symmetric(self) -> bool:
+        """Processor permutations are a sound reduction only when the
+        processors are interchangeable: free programs and a cold root.
+        The PRIV shared stamps aggregate (min/max) *across* processors,
+        which a pointwise value remap cannot reproduce, so PRIV always
+        explores un-reduced."""
+        return (
+            self.cfg.programs is None
+            and not self.cfg.warm
+            and self.cfg.protocol is not ProtocolKind.PRIV
+        )
+
+    def canon(self, st: MState) -> tuple:
+        """Canonical hash key: the minimum frozen encoding over the
+        sound processor permutations (identity only when asymmetric)."""
+        if not self.symmetric:
+            return self._freeze(st, None)
+        return min(
+            self._freeze(st, perm)
+            for perm in itertools.permutations(range(self.cfg.procs))
+        )
+
+    def _remap_virt(self, v: int, perm: Sequence[int]) -> int:
+        """Remap a virtual-iteration value owned by one processor under
+        a processor permutation (contiguous numbering; the symmetric
+        protocols never run round-robin)."""
+        if v <= 0:
+            return v
+        I = self.cfg.iters
+        return perm[(v - 1) // I] * I + (v - 1) % I + 1
+
+    def _freeze(self, st: MState, perm: Optional[Sequence[int]]) -> tuple:
+        cfg = self.cfg
+        P = cfg.procs
+        idx = list(range(P)) if perm is None else [perm.index(p) for p in range(P)]
+        # idx[q] = source processor whose data lands in slot q
+
+        def rv(v: int) -> int:
+            return v if perm is None else self._remap_virt(v, perm)
+
+        def rp(p):
+            return p if (perm is None or p is None or p < 0) else perm[p]
+
+        pos = tuple(st.pos[idx[q]] for q in range(P))
+        hist = tuple(st.hist[idx[q]] for q in range(P))
+        failure = st.failure
+        if failure is not None:
+            failure = (failure[0], failure[1], rp(failure[2]),
+                       rv(failure[3]) if failure[3] else failure[3])
+        msgs = tuple(sorted(
+            (
+                (chan[0], rp(chan[1])),
+                tuple(
+                    (m[0], rp(m[1]), m[2]) + tuple(rv(x) for x in m[3:])
+                    for m in queue
+                ),
+            )
+            for chan, queue in st.msgs.items()
+        ))
+        body: tuple
+        if cfg.protocol is ProtocolKind.NONPRIV:
+            npd = tuple((rp(d[0]), d[1], d[2]) for d in st.np_dir)
+            npl = tuple(
+                tuple(None if c is None else tuple(c)
+                      for c in st.np_line[idx[q]])
+                for q in range(P)
+            )
+            body = (npd, npl)
+        elif cfg.protocol is ProtocolKind.PRIV:
+            pvs = tuple(tuple(d) for d in st.pv_shared)
+            pvp = tuple(tuple(tuple(t) for t in row) for row in st.pv_priv)
+            pvl = tuple(
+                tuple(
+                    None if c is None
+                    else (c[0], c[1], c[2],
+                          # a tag whose iteration already passed can
+                          # never read valid again: normalize it away
+                          -1 if c[3] != -1 and c[3] < self._pv_next_eff(st, q)
+                          else c[3])
+                    for c in row
+                )
+                for q, row in enumerate(st.pv_line)
+            )
+            body = (pvs, pvp, pvl)
+        else:
+            pss = tuple(tuple(d) for d in st.ps_shared)
+            psp = tuple(
+                tuple((t[0], t[1], rv(t[2]) if t[2] > 0 else t[2], t[3])
+                      for t in st.ps_priv[idx[q]])
+                for q in range(P)
+            )
+
+            def norm_line(c, src):
+                if c is None:
+                    return None
+                stale = c[2] != -1 and c[2] < self._ps_next_virt(st, src)
+                if stale:
+                    return (False, False, -1)
+                return (c[0], c[1], rv(c[2]) if c[2] > 0 else c[2])
+
+            psl = tuple(
+                tuple(norm_line(c, idx[q]) for c in st.ps_pline[idx[q]])
+                for q in range(P)
+            )
+            pssl = tuple(
+                tuple(norm_line(c, idx[q]) for c in st.ps_sline[idx[q]])
+                for q in range(P)
+            )
+            body = (pss, psp, psl, pssl)
+        return (st.status, failure, st.epoch, pos, hist, msgs, body)
+
+    def _pv_next_eff(self, st: MState, p: int) -> int:
+        slot = self._next_slot(st, p)
+        if slot is None:
+            return 1 << 62
+        return self.cfg.eff(self.cfg.virt(p, slot[0]))
+
+    def _ps_next_virt(self, st: MState, p: int) -> int:
+        slot = self._next_slot(st, p)
+        if slot is None:
+            return 1 << 62
+        return self.cfg.virt(p, slot[0])

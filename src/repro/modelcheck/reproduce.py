@@ -1,0 +1,184 @@
+"""Divergence reports with minimized standalone reproducers.
+
+When a cross-check disagrees with the model — the serial predicate, the
+dependence oracle, a monitor replay or the concrete engine run — the
+divergence is packaged in the style of
+:class:`repro.obs.forensics.ForensicReport`: what was expected, what
+was observed, the per-processor program, the interleaving (action
+trace) that reached the state, and a **minimized reproducer**: the
+smallest access subset (iteration structure preserved) whose
+fixed-program exploration still shows a divergence.  The minimized
+program is re-checked, so ``minimized_reproduces`` is ground truth, not
+hope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Tuple
+
+from ..types import ProtocolKind
+from .model import Access, ModelConfig
+
+__all__ = ["DivergenceReport", "minimize_programs"]
+
+Programs = Tuple[Tuple[Tuple[Access, ...], ...], ...]
+
+
+def _strip(programs: Programs, flat_index: int) -> Programs:
+    """Remove the ``flat_index``-th access (program order across
+    processors, then iterations) keeping the iteration structure."""
+    k = 0
+    out: List[Tuple[Tuple[Access, ...], ...]] = []
+    for body in programs:
+        new_body: List[Tuple[Access, ...]] = []
+        for it in body:
+            new_it: List[Access] = []
+            for acc in it:
+                if k != flat_index:
+                    new_it.append(acc)
+                k += 1
+            new_body.append(tuple(new_it))
+        out.append(tuple(new_body))
+    return tuple(out)
+
+
+def _size(programs: Programs) -> int:
+    return sum(len(it) for body in programs for it in body)
+
+
+def minimize_programs(
+    programs: Programs,
+    still_diverges: Callable[[Programs], bool],
+) -> Programs:
+    """Greedy one-at-a-time access removal (ddmin-lite): repeatedly try
+    dropping each access and keep any removal under which
+    ``still_diverges`` holds, until a fixed point.  The caller's
+    predicate re-runs the exploration and cross-checks, so the result
+    provably still reproduces."""
+    current = programs
+    changed = True
+    while changed:
+        changed = False
+        i = 0
+        while i < _size(current):
+            candidate = _strip(current, i)
+            if still_diverges(candidate):
+                current = candidate
+                changed = True
+            else:
+                i += 1
+    return current
+
+
+def _fmt_programs(programs: Programs) -> List[str]:
+    lines = []
+    for p, body in enumerate(programs):
+        its = []
+        for j, it in enumerate(body, start=1):
+            ops = " ".join(f"{'W' if w else 'R'}{e}" for (w, e) in it)
+            its.append(f"it{j}[{ops or '-'}]")
+        lines.append(f"P{p}: " + (" ".join(its) or "(empty)"))
+    return lines
+
+
+@dataclasses.dataclass
+class DivergenceReport:
+    """One cross-check disagreement, minimized and replayable."""
+
+    #: which cross-check disagreed: "facts", "oracle", "monitor", "engine"
+    kind: str
+    protocol: str
+    #: the exploration configuration (size knobs, root, faults)
+    config: dict
+    #: one-line statement of the disagreement
+    detail: str
+    expected: object
+    observed: object
+    #: the per-processor program of the divergent terminal state
+    programs: Programs
+    #: the interleaving (action labels) that reached the state
+    actions: Tuple[str, ...]
+    #: the model's failure attribution, if it failed
+    failure: Optional[tuple] = None
+    #: monitor violations (stringified), for kind="monitor"
+    violations: Tuple[str, ...] = ()
+    #: the engine's diffcheck verdict signature, for kind="engine"
+    verdict: Optional[dict] = None
+    #: minimized access subset that still diverges
+    minimized: Optional[Programs] = None
+    minimized_reproduces: Optional[bool] = None
+
+    # ------------------------------------------------------------------
+    def minimize(self, still_diverges: Callable[[Programs], bool]) -> None:
+        self.minimized = minimize_programs(self.programs, still_diverges)
+        self.minimized_reproduces = bool(still_diverges(self.minimized))
+
+    def reproducer_config(self) -> ModelConfig:
+        """A fixed-program :class:`ModelConfig` replaying the minimized
+        (or original) divergent program — the standalone reproducer."""
+        cfg = dict(self.config)
+        return ModelConfig(
+            protocol=ProtocolKind(self.protocol),
+            procs=cfg["procs"],
+            elements=cfg["elements"],
+            iters=cfg["iters"],
+            ops_per_iter=cfg["ops_per_iter"],
+            timestamp_bits=cfg.get("timestamp_bits"),
+            warm=cfg.get("warm", False),
+            programs=self.minimized or self.programs,
+            faults=frozenset(cfg.get("faults", ())),
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "protocol": self.protocol,
+            "config": dict(self.config),
+            "detail": self.detail,
+            "expected": self.expected,
+            "observed": self.observed,
+            "programs": [
+                [[list(a) for a in it] for it in body] for body in self.programs
+            ],
+            "actions": list(self.actions),
+            "failure": list(self.failure) if self.failure else None,
+            "violations": list(self.violations),
+            "verdict": self.verdict,
+            "minimized": (
+                [[[list(a) for a in it] for it in body] for body in self.minimized]
+                if self.minimized is not None
+                else None
+            ),
+            "minimized_reproduces": self.minimized_reproduces,
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"== modelcheck divergence: {self.kind} ({self.protocol}) ==",
+            f"detail: {self.detail}",
+            f"expected: {self.expected!r}   observed: {self.observed!r}",
+            "config: " + ", ".join(f"{k}={v}" for k, v in sorted(self.config.items())),
+            "program:",
+        ]
+        lines += ["  " + s for s in _fmt_programs(self.programs)]
+        if self.failure is not None:
+            lines.append(f"model failure: {self.failure}")
+        if self.violations:
+            lines.append(f"monitor violations ({len(self.violations)}):")
+            lines += [f"  {v}" for v in self.violations[:8]]
+        if self.verdict is not None:
+            lines.append(f"engine verdict: {self.verdict}")
+        if self.actions:
+            lines.append(f"interleaving ({len(self.actions)} steps):")
+            lines.append("  " + " -> ".join(self.actions))
+        if self.minimized is not None:
+            status = {
+                True: "re-diverges",
+                False: "does NOT re-diverge",
+                None: "unvalidated",
+            }[self.minimized_reproduces]
+            lines.append(f"minimized reproducer ({_size(self.minimized)} accesses, {status}):")
+            lines += ["  " + s for s in _fmt_programs(self.minimized)]
+        return "\n".join(lines)

@@ -210,6 +210,12 @@ class Processor:
         self.state = ProcState.ABORTED
         self.finish_time = time
         self._ops = None
+        # A stale pending op (e.g. an epoch BarrierOp deferred by the
+        # yield gate) must not leak into the next phase: the processor
+        # would re-arrive at a barrier of the aborted phase that can
+        # never complete again.
+        self._pending_op = None
+        self._blocked_on = None
         self.engine.proc_finished(self)
 
     # ------------------------------------------------------------------

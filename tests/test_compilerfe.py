@@ -101,8 +101,8 @@ class TestAutoRun:
         )
         assert auto_protocols(loop) == {}
 
-    def test_auto_run_parallel_loop(self):
-        rng = np.random.default_rng(0)
+    def test_auto_run_parallel_loop(self, seeded_rng):
+        rng = np.random.default_rng(seeded_rng.randrange(2**32))
         f = rng.permutation(64)
 
         def body(i, arrays):

@@ -19,9 +19,13 @@ from repro.trace import ArraySpec, Loop, compute, read, write
 from repro.types import ProtocolKind, Scenario
 
 
-def parallel_loop(protocol=ProtocolKind.NONPRIV, n=256, iters=32, seed=7):
-    """Each iteration touches its own disjoint elements."""
-    rng = random.Random(seed)
+def parallel_loop(protocol=ProtocolKind.NONPRIV, n=256, iters=32, rng=None):
+    """Each iteration touches its own disjoint elements.
+
+    Any permutation keeps iterations disjoint, so tests pass the shared
+    ``seeded_rng`` fixture (REPRO_TEST_SEED-controlled) where they can.
+    """
+    rng = rng or random.Random(7)
     perm = list(range(n))
     rng.shuffle(perm)
     per = n // iters
@@ -59,24 +63,24 @@ PW = RunConfig(schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 2, VirtualMode
 
 
 class TestSerial:
-    def test_serial_runs_one_processor(self):
-        r = run_serial(parallel_loop(), PARAMS)
+    def test_serial_runs_one_processor(self, seeded_rng):
+        r = run_serial(parallel_loop(rng=seeded_rng), PARAMS)
         assert r.scenario is Scenario.SERIAL
         assert r.num_processors == 1
         assert r.passed and r.wall > 0
 
-    def test_breakdown_sums_to_wall(self):
-        r = run_serial(parallel_loop(), PARAMS)
+    def test_breakdown_sums_to_wall(self, seeded_rng):
+        r = run_serial(parallel_loop(rng=seeded_rng), PARAMS)
         assert abs(r.breakdown.wall - r.wall) < 1.0
 
-    def test_serial_has_no_sync(self):
-        r = run_serial(parallel_loop(), PARAMS)
+    def test_serial_has_no_sync(self, seeded_rng):
+        r = run_serial(parallel_loop(rng=seeded_rng), PARAMS)
         assert r.breakdown.sync == 0
 
 
 class TestIdeal:
-    def test_ideal_faster_than_serial_with_enough_work(self):
-        loop = parallel_loop(iters=32)
+    def test_ideal_faster_than_serial_with_enough_work(self, seeded_rng):
+        loop = parallel_loop(iters=32, rng=seeded_rng)
         # Give iterations enough compute for parallelism to pay off.
         for ops in loop.iterations:
             ops.append(compute(3000))
@@ -90,8 +94,8 @@ class TestIdeal:
 
 
 class TestHW:
-    def test_passes_parallel_loop(self):
-        r = run_hw(parallel_loop(), PARAMS, DYN)
+    def test_passes_parallel_loop(self, seeded_rng):
+        r = run_hw(parallel_loop(rng=seeded_rng), PARAMS, DYN)
         assert r.passed
         assert r.failure is None
         assert "backup" in r.phases and "loop" in r.phases
@@ -127,24 +131,24 @@ class TestHW:
         r = run_hw(priv_loop(live_out=False), PARAMS, DYN)
         assert "copy-out" not in r.phases
 
-    def test_spec_messages_counted(self):
-        r = run_hw(parallel_loop(), PARAMS, DYN)
+    def test_spec_messages_counted(self, seeded_rng):
+        r = run_hw(parallel_loop(rng=seeded_rng), PARAMS, DYN)
         assert r.spec_messages > 0
 
-    def test_static_schedule_also_works(self):
+    def test_static_schedule_also_works(self, seeded_rng):
         cfg = RunConfig(
             schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.CHUNK)
         )
-        r = run_hw(parallel_loop(), PARAMS, cfg)
+        r = run_hw(parallel_loop(rng=seeded_rng), PARAMS, cfg)
         assert r.passed
 
 
 class TestSW:
-    def test_passes_parallel_loop_iteration_wise(self):
+    def test_passes_parallel_loop_iteration_wise(self, seeded_rng):
         cfg = RunConfig(
             schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
         )
-        r = run_sw(parallel_loop(), PARAMS, cfg)
+        r = run_sw(parallel_loop(rng=seeded_rng), PARAMS, cfg)
         assert r.passed
         assert r.lrpd is not None and r.lrpd.passed
         assert "merge-analysis" in r.phases
@@ -181,8 +185,8 @@ class TestSW:
         r_iw = run_sw(loop, PARAMS, cfg_iter)
         assert not r_iw.passed
 
-    def test_sw_slower_than_hw_on_marked_heavy_loop(self):
-        loop = parallel_loop()
+    def test_sw_slower_than_hw_on_marked_heavy_loop(self, seeded_rng):
+        loop = parallel_loop(rng=seeded_rng)
         hw = run_hw(loop, PARAMS, DYN)
         sw = run_sw(loop, PARAMS, PW)
         assert sw.wall > hw.wall
@@ -195,9 +199,9 @@ class TestSW:
 
 
 class TestAccounting:
-    def test_breakdown_matches_phase_sum(self):
+    def test_breakdown_matches_phase_sum(self, seeded_rng):
         for runner, cfg in ((run_hw, DYN), (run_sw, PW)):
-            r = runner(parallel_loop(), PARAMS, cfg)
+            r = runner(parallel_loop(rng=seeded_rng), PARAMS, cfg)
             assert abs(r.breakdown.wall - sum(r.phases.values())) < 1.0
 
     def test_failed_run_includes_serial_breakdown(self):

@@ -104,6 +104,32 @@ class TestEpochValidation:
             run_hw(priv_scratch_loop(), PARAMS, config)
 
 
+class TestAbortAcrossEpochBarriers:
+    def test_failed_run_with_pending_epoch_barrier_restores_cleanly(self):
+        """Regression (found by the model checker): a processor aborted
+        while holding a deferred epoch BarrierOp as its pending op must
+        not replay it into the restore phase — that barrier has lost
+        its other participants and deadlocks the run."""
+        from repro.params import small_test_params
+
+        loop = Loop(
+            "abort-epoch",
+            [ArraySpec("A", 2, 8, ProtocolKind.PRIV)],
+            # it3 reads element 0 written in the earlier epoch of it2:
+            # FAIL mid-run while the trailing empty iterations still owe
+            # epoch barriers.
+            [[read("A", 0)], [write("A", 0)], [read("A", 0)], [], [], []],
+        )
+        config = RunConfig(
+            schedule=ScheduleSpec(SchedulePolicy.BLOCK_CYCLIC, 1, VirtualMode.CHUNK),
+            timestamp_bits=1,
+        )
+        result = run_hw(loop, small_test_params(2), config)
+        assert not result.passed
+        assert "earlier time-stamp epoch" in result.failure.reason
+        assert "restore" in result.phases
+
+
 class TestEpochStateReset:
     def test_epoch_reset_preserves_written_past(self):
         from repro.core.accessbits import PrivSharedDirTable

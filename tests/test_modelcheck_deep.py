@@ -1,0 +1,69 @@
+"""Deep model-checking sweeps (3 processors / 4 elements) — ``slow``.
+
+Excluded from tier-1 by the ``-m "not slow"`` default; run locally or
+in the nightly CI job with ``pytest -m slow``.  Each case is the same
+four-way cross-check as the gating suite, just over configurations
+large enough to take tens of seconds each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.modelcheck import ModelConfig, check_config
+from repro.types import ProtocolKind
+
+pytestmark = pytest.mark.slow
+
+
+def _check(config: ModelConfig, max_states=None, engine_cap=40):
+    report = check_config(config, max_states=max_states, engine_cap=engine_cap)
+    assert report.ok, [d.to_text() for d in report.divergences]
+    return report
+
+
+def test_nonpriv_cold_3procs_4elems_two_ops():
+    report = _check(ModelConfig(ProtocolKind.NONPRIV, procs=3, elements=4,
+                                iters=1, ops_per_iter=2))
+    assert not report.truncated
+    assert report.done > 0 and report.failed > 0
+
+
+def test_nonpriv_warm_3procs_4elems_two_ops_capped():
+    # The warm root roughly quadruples the space; a capped frontier
+    # still cross-checks every terminal reached (flagged as truncated).
+    report = _check(
+        ModelConfig(ProtocolKind.NONPRIV, procs=3, elements=4,
+                    iters=1, ops_per_iter=2, warm=True),
+        max_states=120_000,
+    )
+    assert report.terminals > 0
+
+
+def test_priv_3procs_3elems_two_ops():
+    report = _check(ModelConfig(ProtocolKind.PRIV, procs=3, elements=3,
+                                iters=1, ops_per_iter=2))
+    assert not report.truncated
+    assert report.done > 0 and report.failed > 0
+
+
+def test_priv_round_robin_2procs_4elems_capped():
+    report = _check(
+        ModelConfig(ProtocolKind.PRIV, procs=2, elements=4, iters=2,
+                    ops_per_iter=2, timestamp_bits=2),
+        max_states=100_000,
+    )
+    assert report.terminals > 0
+
+
+def test_priv_simple_2procs_4elems_two_ops():
+    report = _check(ModelConfig(ProtocolKind.PRIV_SIMPLE, procs=2, elements=4,
+                                iters=1, ops_per_iter=2))
+    assert not report.truncated
+    assert report.done > 0 and report.failed > 0
+
+
+def test_priv_simple_3procs_4elems_one_op():
+    report = _check(ModelConfig(ProtocolKind.PRIV_SIMPLE, procs=3, elements=4,
+                                iters=1, ops_per_iter=1))
+    assert not report.truncated

@@ -66,8 +66,8 @@ class TestTracing:
 
 
 class TestSpeculativeRun:
-    def test_parallel_loop_commits_speculative_results(self):
-        rng = np.random.default_rng(1)
+    def test_parallel_loop_commits_speculative_results(self, seeded_rng):
+        rng = np.random.default_rng(seeded_rng.randrange(2**32))
         f = rng.permutation(64)
         a0 = rng.random(64)
 
@@ -93,8 +93,8 @@ class TestSpeculativeRun:
         assert not out.passed and out.reexecuted_serially
         np.testing.assert_allclose(out.arrays["A"], ref["A"])
 
-    def test_privatized_scratch_with_copy_out(self):
-        rng = np.random.default_rng(2)
+    def test_privatized_scratch_with_copy_out(self, seeded_rng):
+        rng = np.random.default_rng(seeded_rng.randrange(2**32))
         a0 = rng.random(16)
 
         def body(i, arrs):

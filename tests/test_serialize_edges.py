@@ -1,0 +1,132 @@
+"""Edge cases of ``run_result_from_dict`` and round-trip stability.
+
+The run ledger serves archived runs through this path, so a record must
+survive serialize -> JSON -> deserialize -> serialize bit-identically
+(for the fields that round-trip at all): a drifting representation
+would break the ledger's provenance-keyed deduplication.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.serialize import run_result_from_dict, run_result_to_dict
+from repro.params import MachineParams
+from repro.runtime import RunConfig, SchedulePolicy, ScheduleSpec, VirtualMode, run_hw
+from repro.runtime.driver import RunResult
+from repro.sim.stats import TimeBreakdown
+from repro.types import Scenario
+from repro.workloads.synthetic import failing_loop, parallel_nonpriv_loop
+
+PARAMS = MachineParams(num_processors=4)
+CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.STATIC_CHUNK, 1, VirtualMode.ITERATION)
+)
+#: failing_loop's cross-iteration dependence only crosses processors
+#: under an interleaved assignment
+FAIL_CFG = RunConfig(
+    schedule=ScheduleSpec(SchedulePolicy.DYNAMIC, 1, VirtualMode.CHUNK)
+)
+
+
+def _json_round(doc):
+    return json.loads(json.dumps(doc))
+
+
+class TestFailureFreeRuns:
+    def test_failure_free_run_revives_without_failure_fields(self):
+        result = run_hw(parallel_nonpriv_loop(iterations=16), PARAMS, CFG)
+        doc = _json_round(run_result_to_dict(result))
+        revived = run_result_from_dict(doc)
+        assert revived.passed is True
+        assert revived.failure is None
+        assert revived.detection_cycle is None
+        assert revived.wall == result.wall
+        assert revived.phases == result.phases
+        assert revived.breakdown == result.breakdown
+
+    def test_failing_run_revives_failure_attribution(self):
+        result = run_hw(failing_loop(3, iterations=16), PARAMS, FAIL_CFG)
+        revived = run_result_from_dict(_json_round(run_result_to_dict(result)))
+        assert revived.passed is False
+        assert revived.failure is not None
+        assert revived.failure.reason == result.failure.reason
+        assert revived.failure.element == result.failure.element
+        assert revived.detection_cycle == result.detection_cycle
+
+
+class TestSparseResults:
+    def _minimal(self, phases):
+        return RunResult(
+            scenario=Scenario.SERIAL,
+            loop_name="edge",
+            num_processors=1,
+            passed=True,
+            wall=0.0,
+            breakdown=TimeBreakdown(),
+            phases=phases,
+        )
+
+    def test_empty_phase_dict_survives(self):
+        revived = run_result_from_dict(
+            _json_round(run_result_to_dict(self._minimal({})))
+        )
+        assert revived.phases == {}
+        assert revived.wall == 0.0
+
+    def test_absent_optional_fields_revive_as_defaults(self):
+        doc = _json_round(run_result_to_dict(self._minimal({"loop": 1.0})))
+        assert "mem" not in doc and "provenance" not in doc
+        assert "assignment" not in doc and "lrpd" not in doc
+        revived = run_result_from_dict(doc)
+        assert revived.mem is None
+        assert revived.provenance is None
+        assert revived.assignment is None
+        assert revived.lrpd is None
+        assert revived.metrics is None
+        assert revived.spec_messages == 0
+
+    def test_violations_and_forensics_are_one_way(self):
+        """Live monitor/forensics objects cannot cross JSON: from_dict
+        restores them as None even when the record carried them."""
+        from repro.obs.monitor import MonitorSuite
+
+        config = RunConfig(schedule=FAIL_CFG.schedule, monitors=MonitorSuite())
+        result = run_hw(failing_loop(3, iterations=16), PARAMS, config)
+        assert result.violations is not None  # monitors were armed
+        doc = _json_round(run_result_to_dict(result))
+        revived = run_result_from_dict(doc)
+        assert revived.violations is None
+        assert revived.forensics is None
+
+
+class TestRoundTripStability:
+    """serialize(deserialize(serialize(r))) == serialize(r): what the
+    ledger's serve path relies on."""
+
+    def _stable(self, result):
+        doc1 = _json_round(run_result_to_dict(result))
+        revived = run_result_from_dict(doc1)
+        doc2 = _json_round(run_result_to_dict(revived))
+        assert doc2 == doc1
+        # and a second generation stays fixed
+        assert _json_round(run_result_to_dict(run_result_from_dict(doc2))) == doc2
+
+    def test_passing_hw_run_is_stable(self):
+        self._stable(run_hw(parallel_nonpriv_loop(iterations=16), PARAMS, CFG))
+
+    def test_failing_hw_run_is_stable(self):
+        self._stable(run_hw(failing_loop(3, iterations=16), PARAMS, FAIL_CFG))
+
+    def test_minimal_record_is_stable(self):
+        self._stable(
+            RunResult(
+                scenario=Scenario.IDEAL,
+                loop_name="min",
+                num_processors=2,
+                passed=True,
+                wall=12.5,
+                breakdown=TimeBreakdown(busy=10.0, sync=1.5, mem=1.0),
+                phases={},
+            )
+        )
