@@ -105,9 +105,16 @@ class AddressSpace:
             raise ConfigurationError(f"array {name!r} already allocated")
         if length < 1:
             raise ConfigurationError(f"array {name!r} needs length >= 1")
-        if elem_bytes < 1 or elem_bytes > self.line_bytes:
+        if elem_bytes < 1:
             raise ConfigurationError(
-                f"element size {elem_bytes} must be in 1..{self.line_bytes}"
+                f"element size {elem_bytes} must be >= 1"
+            )
+        if elem_bytes > self.line_bytes and elem_bytes % self.line_bytes:
+            # A wide element spans whole lines; a partial tail line
+            # would break every line-granular walker's geometry.
+            raise ConfigurationError(
+                f"element size {elem_bytes} wider than a line must be a "
+                f"multiple of the line size {self.line_bytes}"
             )
         if home_policy not in ("round_robin", "local"):
             raise ConfigurationError(f"unknown home policy {home_policy!r}")

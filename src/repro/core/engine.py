@@ -111,8 +111,8 @@ class SpeculationEngine(SpeculationHooks):
             # The protocol-side table has one entry per cache line; its
             # "elements" are whole lines, so addr_of(meta_index) is the
             # actual line address.
-            elems_per_line = max(1, self.params.line_bytes // decl.elem_bytes)
-            meta_len = -(-decl.length // elems_per_line)
+            epl = self.params.elems_per_line(decl.elem_bytes)
+            meta_len = -(-decl.length // epl)
             meta_decl = dataclasses.replace(
                 decl, length=meta_len, elem_bytes=self.params.line_bytes
             )
@@ -268,10 +268,7 @@ class SpeculationEngine(SpeculationHooks):
         """Element index -> access-bit index (identity, or line number
         in the per-line-bit mode)."""
         if self._line_mode(entry):
-            elems_per_line = max(
-                1, self.params.line_bytes // entry.decl.elem_bytes
-            )
-            return index // elems_per_line
+            return index // self.params.elems_per_line(entry.decl.elem_bytes)
         return index
 
     def on_cache_hit(self, proc, line, addr, kind, now):
@@ -414,7 +411,7 @@ class SpeculationEngine(SpeculationHooks):
     def _line_span(self, entry: RangeEntry, line_addr: int) -> Tuple[int, int]:
         decl = entry.decl
         first = max(0, (line_addr - decl.base) // decl.elem_bytes)
-        span = self.params.line_bytes // decl.elem_bytes
+        span = self.params.elems_per_line(decl.elem_bytes)
         count = max(0, min(span, decl.length - first))
         return first, count
 

@@ -450,7 +450,7 @@ class BatchNonPrivProtocol(NonPrivProtocol):
         (the scalar path lazily creates default ``NonPrivTagBits``)."""
         decl = entry.decl
         first = max(0, (line_addr - decl.base) // decl.elem_bytes)
-        span = self.ctx.params.line_bytes // decl.elem_bytes
+        span = self.ctx.params.elems_per_line(decl.elem_bytes)
         count = max(0, min(span, decl.length - first))
         return NonPrivTagBlock(
             first, [NO_PROC] * count, [False] * count, [False] * count
@@ -619,3 +619,18 @@ def nonpriv_vector_verdict(
         first[e[head]] = procs[order[head]]
     ronly = (nproc >= 2) & ~written
     return passed, first, written, ronly
+
+
+def nonpriv_vector_fail_candidates(procs, elems, writes, length: int):
+    """Element indexes (meta-element indexes in the per-line-bit mode)
+    that fail the non-privatization test: touched by two or more
+    distinct processors and written at least once.  The scalar
+    protocol's FAIL is always attributed to one of these, so the vector
+    tier's exact-attribution replay cross-checks against this set."""
+    import numpy as np
+
+    from .accessbits import distinct_procs, scatter_or
+
+    nproc = distinct_procs(procs, elems, length)
+    written = scatter_or(elems[writes], length)
+    return np.nonzero((nproc >= 2) & written)[0]

@@ -17,6 +17,7 @@ from typing import List, Optional, Tuple
 
 from ..address import ArrayDecl
 from ..errors import ConfigurationError
+from ..params import elems_per_line
 from ..types import ProtocolKind
 
 
@@ -137,7 +138,7 @@ class TranslationTable:
             return None
         entry, first = found
         decl = entry.decl
-        span = line_bytes // decl.elem_bytes
+        span = elems_per_line(line_bytes, decl.elem_bytes)
         count = min(span, decl.length - first)
         if count <= 0:
             return None

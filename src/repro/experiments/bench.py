@@ -6,12 +6,10 @@ engines (``scalar``, the reference; ``batch``, the bit-identical fast
 path; ``vector``, the whole-phase numpy kernel tier) under three
 instrumentation levels: bare (no bus attached), telemetry (full
 event recording) and monitors (invariant monitors + forensics
-recorder).  Every cell runs under the same static-chunk schedule: the
-vector tier delegates dynamic schedules to the batch engine, so a
-dynamic-schedule "vector" cell would silently measure batch — and the
-scalar/batch cells must share the schedule for the columns to be
-comparable.  Repetitions are interleaved so host-load drift hits every
-cell equally, and the result is a machine-readable JSON document::
+recorder).  Every matrix cell runs under the same static-chunk
+schedule so the scalar/batch/vector columns compare like for like.
+Repetitions are interleaved so host-load drift hits every cell
+equally, and the result is a machine-readable JSON document::
 
     {
       "benchmark": "simulator-throughput",
@@ -22,16 +20,29 @@ cell equally, and the result is a machine-readable JSON document::
                    "telemetry": {"best_s": ..., "overhead_pct": ...},
                    "monitors":  {"best_s": ..., "overhead_pct": ...}},
         "batch":  {...},
-        "vector": {...}
+        "vector": {...},
+        "batch-fail":     {"bare": {...}},   # scenario rows, bare only
+        "vector-fail":    {"bare": {...}},
+        "batch-dynamic":  {"bare": {...}},
+        "vector-dynamic": {"bare": {...}}
       },
       "bare": {...}, "telemetry": {...}, "monitors": {...},   # scalar
       "provenance": {"config_hash": ..., "code_version": ...}
     }
 
+Beyond the matrix, two *scenario* rows pin the vector tier's widened
+fast path against batch on the cases that used to delegate: ``fail``
+(the same workload with one injected cross-processor flow dependence,
+so every run aborts and re-executes serially) and ``dynamic``
+(dynamic self-scheduling on a contention-free machine, decided through
+the scratch-machine grab replay).  Scenario rows are bare-level only
+and keyed as pseudo-engines (``vector-fail`` etc.) so ``benchdiff``
+picks them up without a schema change.
+
 The top-level ``bare``/``telemetry``/``monitors`` keys mirror the
 scalar engine for continuity with the PR3-era document shape.  The CI
 perf job runs this, diffs ``iters_per_s`` per cell against the
-committed baseline (``BENCH_PR6.json``) and warns — non-gating — on a
+committed baseline (``BENCH_PR10.json``) and warns — non-gating — on a
 >15% drop; the hard <3% telemetry-off gate lives in
 ``benchmarks/bench_simulator_throughput.py`` and is unaffected.
 
@@ -44,16 +55,17 @@ measurement — use ``jobs=1`` (the default) for baseline documents.
 
 from __future__ import annotations
 
+import dataclasses
 import gc
 import json
 import time
 from typing import Callable, Dict, List, Tuple
 
 from ..obs import MonitorSuite, Telemetry
-from ..params import small_test_params
+from ..params import ContentionModel, small_test_params
 from ..runtime.driver import RunConfig, run_hw
 from ..runtime.schedule import SchedulePolicy, ScheduleSpec
-from ..workloads.synthetic import parallel_nonpriv_loop
+from ..workloads.synthetic import failing_loop, parallel_nonpriv_loop
 from .pool import PoolTask, run_tasks
 
 BENCH_ITERATIONS = 48
@@ -61,12 +73,16 @@ BENCH_ELEMENTS = 1024
 BENCH_PROCESSORS = 4
 ENGINES = ("scalar", "batch", "vector")
 LEVELS = ("bare", "telemetry", "monitors")
+#: Scenario rows: batch vs vector on the cases the vector tier used to
+#: delegate wholesale — every-run-FAILs and dynamic self-scheduling.
+SCENARIOS = ("fail", "dynamic")
+SCENARIO_ENGINES = ("batch", "vector")
 
 
 def _bench_config(engine: str, **extra) -> RunConfig:
-    # Static-chunk for every cell: the vector tier only has a fast path
-    # for static schedules (dynamic delegates to batch), and all engines
-    # must run the same schedule for cross-engine columns to compare.
+    # Static-chunk for every matrix cell so the scalar/batch/vector
+    # columns measure the same schedule (the scenario rows below cover
+    # the dynamic-schedule comparison explicitly).
     return RunConfig(
         engine=engine,
         schedule=ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK),
@@ -116,8 +132,71 @@ def _bench_cell_times(engine: str, level: str, reps: int) -> List[float]:
             gc.enable()
 
 
+def _make_scenario_workload(scenario: str):
+    """``(loop, params, config_factory, expect_passed)`` for a scenario row."""
+    if scenario == "fail":
+        # Inject the flow dependence across the static-chunk boundary
+        # between processors 1 and 2 (12 iterations per chunk on 4
+        # procs), so every run aborts and re-executes serially.
+        loop = failing_loop(
+            BENCH_ITERATIONS // 2, "bench-fail",
+            elements=BENCH_ELEMENTS, iterations=BENCH_ITERATIONS,
+        )
+        params = small_test_params(BENCH_PROCESSORS)
+        schedule = ScheduleSpec(policy=SchedulePolicy.STATIC_CHUNK)
+        expect_passed = False
+    elif scenario == "dynamic":
+        loop = parallel_nonpriv_loop(
+            "bench-dynamic", elements=BENCH_ELEMENTS,
+            iterations=BENCH_ITERATIONS,
+        )
+        # Contention off: the one machine shape whose emergent grab
+        # order the vector tier's scratch replay reproduces exactly.
+        params = dataclasses.replace(
+            small_test_params(BENCH_PROCESSORS),
+            contention=ContentionModel(enabled=False),
+        )
+        schedule = ScheduleSpec(policy=SchedulePolicy.DYNAMIC)
+        expect_passed = True
+    else:
+        raise ValueError(f"unknown scenario {scenario!r}")
+
+    def config(engine: str) -> RunConfig:
+        return RunConfig(engine=engine, schedule=schedule)
+
+    return loop, params, config, expect_passed
+
+
+def _run_scenario_cell(engine, scenario, loop, params, config, expect_passed):
+    result = run_hw(loop, params, config(engine))
+    # A wrong verdict means the cell is not measuring the path it
+    # claims to (e.g. the FAIL row silently passing).
+    assert result.passed is expect_passed, (engine, scenario)
+
+
+def _bench_scenario_times(engine: str, scenario: str, reps: int) -> List[float]:
+    """Pool task: warm up and time one scenario row, wholly in-worker."""
+    loop, params, config, expect_passed = _make_scenario_workload(scenario)
+    _run_scenario_cell(engine, scenario, loop, params, config, expect_passed)
+    was_enabled = gc.isenabled()
+    gc.collect()
+    gc.disable()
+    try:
+        return [
+            _measure(
+                lambda: _run_scenario_cell(
+                    engine, scenario, loop, params, config, expect_passed
+                )
+            )
+            for _ in range(reps)
+        ]
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
 def run_bench(
-    out: str = "BENCH_PR6.json",
+    out: str = "BENCH_PR10.json",
     reps: int = 7,
     jobs: int = 1,
     profile=None,
@@ -139,21 +218,34 @@ def run_bench(
     cells: List[Tuple[str, str]] = [
         (engine, level) for engine in ENGINES for level in LEVELS
     ]
+    scenario_cells: List[Tuple[str, str]] = [
+        (engine, scenario)
+        for scenario in SCENARIOS
+        for engine in SCENARIO_ENGINES
+    ]
     if (jobs is not None and jobs != 1) or profile is not None:
         outputs = run_tasks(
             [
                 PoolTask(_bench_cell_times, cell + (reps,),
                          label=f"bench:{cell[0]}/{cell[1]}")
                 for cell in cells
+            ]
+            + [
+                PoolTask(_bench_scenario_times, cell + (reps,),
+                         label=f"bench:{cell[0]}-{cell[1]}")
+                for cell in scenario_cells
             ],
             jobs=jobs,
             profile=profile,
         )
-        times = dict(zip(cells, outputs))
+        times = dict(zip(cells + scenario_cells, outputs))
     else:
-        times = {cell: [] for cell in cells}
+        times = {cell: [] for cell in cells + scenario_cells}
+        scenarios = {s: _make_scenario_workload(s) for s in SCENARIOS}
         for engine, level in cells:  # warmup round, not measured
             _run_cell(engine, level, loop, params)
+        for engine, scenario in scenario_cells:
+            _run_scenario_cell(engine, scenario, *scenarios[scenario])
         # Collector pauses land randomly inside the short timed runs and
         # dominate rep-to-rep variance; pause collection while measuring
         # (the simulator allocates heavily but builds no cycles).
@@ -167,6 +259,14 @@ def run_bench(
                 for engine, level in cells:
                     times[(engine, level)].append(
                         _measure(lambda: _run_cell(engine, level, loop, params))
+                    )
+                for engine, scenario in scenario_cells:
+                    times[(engine, scenario)].append(
+                        _measure(
+                            lambda: _run_scenario_cell(
+                                engine, scenario, *scenarios[scenario]
+                            )
+                        )
                     )
         finally:
             if was_enabled:
@@ -188,6 +288,13 @@ def run_bench(
         engine: {level: _cell_doc(engine, level) for level in LEVELS}
         for engine in ENGINES
     }
+    for engine, scenario in scenario_cells:
+        engines_doc[f"{engine}-{scenario}"] = {
+            "bare": {
+                "best_s": best[(engine, scenario)],
+                "iters_per_s": BENCH_ITERATIONS / best[(engine, scenario)],
+            }
+        }
     provenance = run_hw(loop, params, _bench_config("scalar")).provenance
     doc = {
         "benchmark": "simulator-throughput",
@@ -226,6 +333,12 @@ def run_bench(
         f"vector/batch {best[('batch', 'bare')] / best[('vector', 'bare')]:.2f}x, "
         f"vector/scalar {best[('scalar', 'bare')] / best[('vector', 'bare')]:.2f}x"
     )
+    for scenario in SCENARIOS:
+        b, v = best[("batch", scenario)], best[("vector", scenario)]
+        lines.append(
+            f"  {scenario:7s} batch: {b * 1e3:8.1f} ms  "
+            f"vector: {v * 1e3:8.1f} ms  (vector/batch {b / v:.2f}x)"
+        )
     if ledger is not None:
         key, deduped = ledger.record_bench(doc, label=out)
         lines.append(

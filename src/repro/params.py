@@ -192,6 +192,20 @@ class MachineParams:
     def node_of_processor(self, proc_id: int) -> int:
         return proc_id // self.processors_per_node
 
+    def elems_per_line(self, elem_bytes: int) -> int:
+        return elems_per_line(self.line_bytes, elem_bytes)
+
+
+def elems_per_line(line_bytes: int, elem_bytes: int) -> int:
+    """Array elements that fit in one cache line, never below one.
+
+    An element wider than a line (``elem_bytes > line_bytes``) spans
+    multiple lines; clamping to one keeps line-granular walkers and the
+    access-bit geometry well-defined — each line maps to the single
+    element it starts in.
+    """
+    return max(1, line_bytes // elem_bytes)
+
 
 def default_params(num_processors: int = 16) -> MachineParams:
     """The paper's machine with a configurable processor count."""

@@ -79,8 +79,13 @@ class RunConfig:
     #: ``"vector"`` (HW scenario) rebuilds the quiescent fast path as
     #: whole-phase numpy kernels (runtime/vector.py): verdict and
     #: failure-attribution conformant with scalar, but free to relax
-    #: internal trace ordering and timing; dynamic schedules and kernel
-    #: FAILs delegate the whole run to the batch engine.  Pinned by
+    #: internal trace ordering and timing.  Static schedules are decided
+    #: natively (PASS and FAIL — failing runs are localized and replayed
+    #: on a batch machine for exact attribution); deterministic dynamic
+    #: schedules are replayed on a scratch machine to recover the
+    #: emergent assignment; only cost-model features the replay cannot
+    #: reproduce (contention, multi-way caches, epoched time stamps)
+    #: delegate the whole run to the batch engine.  Pinned by
     #: ``repro.testing.diffcheck`` in its ``verdict`` signature mode.
     engine: str = "scalar"
     #: dense backup copies whole arrays; sparse backs up only the lines
@@ -266,7 +271,7 @@ def _backup_streams(
     for proc in range(num):
         pieces = []
         for spec in arrays:
-            epl = params.line_bytes // spec.elem_bytes
+            epl = params.elems_per_line(spec.elem_bytes)
             if sparse:
                 written = sorted(loop.written_elements(spec.name))
                 lo, hi = segment_of(len(written), proc, num)
@@ -296,7 +301,7 @@ def _restore_streams(machine: Machine, loop: Loop) -> Dict[int, Iterator[object]
     for proc in range(num):
         pieces = []
         for spec in loop.modified_arrays():
-            epl = params.line_bytes // spec.elem_bytes
+            epl = params.elems_per_line(spec.elem_bytes)
             lo, hi = segment_of(spec.length, proc, num)
             pieces.append(
                 copy_ops(
@@ -606,8 +611,12 @@ def _hw_setup(
     private copies) and register everything under test with the
     speculation engine.  Shared by the op-by-op and vector tiers.
     Returns whether any privatization protocol is in play (it adds the
-    per-iteration tag-clear overhead)."""
-    assert machine.spec is not None
+    per-iteration tag-clear overhead).
+
+    On a speculation-less machine (the vector tier's dynamic-schedule
+    replay scratch) the allocation order stays identical — so the
+    address layout matches a real run exactly — and only the engine
+    registration is skipped."""
     _allocate_loop_arrays(machine, loop, local=False)
     for spec in loop.modified_arrays():
         machine.space.allocate(
@@ -619,7 +628,10 @@ def _hw_setup(
     for spec in loop.arrays_under_test():
         decl = machine.space.array(spec.name)
         if spec.protocol is ProtocolKind.NONPRIV:
-            machine.spec.register_nonpriv(decl, per_line_bits=config.per_line_bits)
+            if machine.spec is not None:
+                machine.spec.register_nonpriv(
+                    decl, per_line_bits=config.per_line_bits
+                )
         else:
             has_priv = True
             privs = [
@@ -631,39 +643,29 @@ def _hw_setup(
                 )
                 for p in range(params.num_processors)
             ]
-            machine.spec.register_priv(
-                decl, privs, simple=(spec.protocol is ProtocolKind.PRIV_SIMPLE)
-            )
+            if machine.spec is not None:
+                machine.spec.register_priv(
+                    decl, privs, simple=(spec.protocol is ProtocolKind.PRIV_SIMPLE)
+                )
     return has_priv
 
 
-def run_hw(
+def _hw_attempt(
+    machine: Machine,
     loop: Loop,
     params: MachineParams,
-    config: Optional[RunConfig] = None,
-    serial_result: Optional[RunResult] = None,
-) -> RunResult:
-    """Hardware speculative run-time parallelization (§3/§4)."""
-    config = config or RunConfig()
-    # Serve before the vector dispatch: the content address includes the
-    # engine, so a vector-keyed hit short-circuits even the delegation
-    # decision.
-    served = _ledger_serve(config, Scenario.HW, loop, params)
-    if served is not None:
-        return served
-    if _engine_of(config) == "vector":
-        from .vector import run_hw_vector
+    config: RunConfig,
+    has_priv: bool,
+    phases: Dict[str, float],
+    breakdown: TimeBreakdown,
+):
+    """Backup + speculative doall on an already-set-up HW machine.
 
-        return run_hw_vector(loop, params, config, serial_result)
-    machine = Machine(params, with_speculation=True, engine=_engine_of(config))
-    _apply_hook(config, machine)
-    _begin_run(machine, Scenario.HW, loop)
+    Runs the checkpoint phase and the speculative loop phase (aborted on
+    the first FAIL), commits the loop-end tag state and returns
+    ``(failure, detection_cycle, assignment)``.  Shared by :func:`run_hw`
+    and the vector tier's exact failure-attribution path."""
     assert machine.spec is not None
-    has_priv = _hw_setup(machine, loop, params, config)
-
-    phases: Dict[str, float] = {}
-    breakdown = TimeBreakdown()
-
     # Phase 1: checkpoint the modifiable shared arrays (§2.2.1).
     if loop.modified_arrays():
         breakdown.add(
@@ -706,9 +708,43 @@ def run_hw(
 
     failure = machine.spec.controller.failure
     detection = None
+    if failure is not None and failure.detected_at is not None:
+        detection = failure.detected_at - loop_start
+    return failure, detection, assignment
+
+
+def run_hw(
+    loop: Loop,
+    params: MachineParams,
+    config: Optional[RunConfig] = None,
+    serial_result: Optional[RunResult] = None,
+) -> RunResult:
+    """Hardware speculative run-time parallelization (§3/§4)."""
+    config = config or RunConfig()
+    # Serve before the vector dispatch: the content address includes the
+    # engine, so a vector-keyed hit short-circuits even the delegation
+    # decision.
+    served = _ledger_serve(config, Scenario.HW, loop, params)
+    if served is not None:
+        return served
+    if _engine_of(config) == "vector":
+        from .vector import run_hw_vector
+
+        return run_hw_vector(loop, params, config, serial_result)
+    machine = Machine(params, with_speculation=True, engine=_engine_of(config))
+    _apply_hook(config, machine)
+    _begin_run(machine, Scenario.HW, loop)
+    assert machine.spec is not None
+    has_priv = _hw_setup(machine, loop, params, config)
+
+    phases: Dict[str, float] = {}
+    breakdown = TimeBreakdown()
+    failure, detection, assignment = _hw_attempt(
+        machine, loop, params, config, has_priv, phases, breakdown
+    )
+    cost = params.cost
+
     if failure is not None:
-        if failure.detected_at is not None:
-            detection = failure.detected_at - loop_start
         machine.spec.disarm()
         breakdown = _append_failure_tail(
             machine, loop, phases, breakdown, serial_result, params,
@@ -736,7 +772,7 @@ def run_hw(
     for spec in loop.arrays_under_test():
         if not (spec.privatized and spec.live_out):
             continue
-        epl = params.line_bytes // spec.elem_bytes
+        epl = params.elems_per_line(spec.elem_bytes)
         for proc in range(params.num_processors):
             indices = _hw_copy_out_indices(machine, spec.name, spec.protocol, proc)
             if not indices:
@@ -852,7 +888,7 @@ def run_sw(
         pieces = []
         for spec in under_test:
             slen = shadow_len(spec.length)
-            epl = params.line_bytes // shadow_elem_bytes
+            epl = params.elems_per_line(shadow_elem_bytes)
             for kind in shadow_kinds:
                 pieces.append(
                     zero_ops(
@@ -883,7 +919,7 @@ def run_sw(
         pieces = []
         for spec in under_test:
             slen = shadow_len(spec.length)
-            epl = params.line_bytes // shadow_elem_bytes
+            epl = params.elems_per_line(shadow_elem_bytes)
             lo, hi = segment_of(slen, proc, num)
             privates = [
                 shadow_name(spec.name, kind, p)
@@ -927,7 +963,7 @@ def run_sw(
     for spec in under_test:
         if not (spec.privatized and spec.live_out):
             continue
-        epl = params.line_bytes // spec.elem_bytes
+        epl = params.elems_per_line(spec.elem_bytes)
         for proc in range(num):
             shadow = state.shadow(spec.name, proc)
             indices = [i for i in range(spec.length) if shadow.ever_written(i)]

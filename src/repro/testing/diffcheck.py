@@ -51,7 +51,12 @@ import numpy as np
 
 from ..experiments.pool import PoolTask, run_tasks
 
-from ..params import MachineParams, default_params, small_test_params
+from ..params import (
+    ContentionModel,
+    MachineParams,
+    default_params,
+    small_test_params,
+)
 from ..runtime.driver import RunConfig, RunResult, run_hw
 from ..runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
 from ..trace.loop import ArraySpec, Loop
@@ -74,10 +79,13 @@ class CaseSpec:
     per_line_bits: bool
     protocol: ProtocolKind
     injected_dependence: bool
+    #: corpus variant this case belongs to (see :data:`VARIANTS`)
+    variant: str = "baseline"
 
     def describe(self) -> str:
+        tag = "" if self.variant == "baseline" else f"variant={self.variant} "
         return (
-            f"seed={self.seed} loop={self.loop.name!r} "
+            f"{tag}seed={self.seed} loop={self.loop.name!r} "
             f"procs={self.params.num_processors} "
             f"sched={self.schedule.policy.value}/chunk={self.schedule.chunk_iterations}"
             f"/{self.schedule.virtual_mode.value} "
@@ -145,8 +153,22 @@ def _random_body(
     return body, injected
 
 
-def build_case(seed: int) -> CaseSpec:
-    """Deterministically derive a full case from ``seed``."""
+#: Corpus variants.  ``baseline`` is the original seeded corpus (its
+#: 0..N cases are byte-identical across releases — baselines depend on
+#: that).  ``dynamic-nocontention`` reshapes every case, *after* all
+#: RNG draws, into a dynamically self-scheduled run on a contention-free
+#: machine: the corpus the vector tier's dynamic-schedule replay must
+#: decide natively (zero delegations), since the grab order is then
+#: deterministic given the cost model.
+VARIANTS = ("baseline", "dynamic-nocontention")
+
+
+def build_case(seed: int, variant: str = "baseline") -> CaseSpec:
+    """Deterministically derive a full case from ``seed`` (and corpus
+    ``variant`` — every variant consumes the RNG identically, so a
+    seed's loop body is shared across variants)."""
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown diffcheck variant {variant!r}")
     rng = random.Random(seed)
     procs = rng.choice([2, 4])
     params = (
@@ -182,6 +204,18 @@ def build_case(seed: int) -> CaseSpec:
     ):
         timestamp_bits = rng.choice([2, 3])
     per_line_bits = protocol is ProtocolKind.NONPRIV and rng.random() < 0.1
+    if variant == "dynamic-nocontention":
+        # Reshape after every RNG draw so the loop body, machine size
+        # and protocol stay byte-identical to the baseline case.
+        params = dataclasses.replace(
+            params, contention=ContentionModel(enabled=False)
+        )
+        schedule = ScheduleSpec(
+            policy=SchedulePolicy.DYNAMIC,
+            chunk_iterations=schedule.chunk_iterations,
+            virtual_mode=VirtualMode.CHUNK,
+        )
+        timestamp_bits = None
     return CaseSpec(
         seed=seed,
         loop=loop,
@@ -191,6 +225,7 @@ def build_case(seed: int) -> CaseSpec:
         per_line_bits=per_line_bits,
         protocol=protocol,
         injected_dependence=injected,
+        variant=variant,
     )
 
 
@@ -357,11 +392,13 @@ def _mismatch_message(
     )
 
 
-def check_seed(seed: int, engine: str = "batch") -> CaseSpec:
+def check_seed(
+    seed: int, engine: str = "batch", variant: str = "baseline"
+) -> CaseSpec:
     """Build, run and compare one seed under ``engine``'s signature
     mode; raise :class:`DiffMismatch` with a one-line repro on any
     disagreement."""
-    case = build_case(seed)
+    case = build_case(seed, variant)
     scalar_sig, other_sig = run_case(case, engine)
     mode = signature_mode_of(engine)
     a, b = _project(scalar_sig, mode), _project(other_sig, mode)
@@ -370,7 +407,9 @@ def check_seed(seed: int, engine: str = "batch") -> CaseSpec:
     return case
 
 
-def seed_verdict(seed: int, engine: str = "batch") -> Dict[str, object]:
+def seed_verdict(
+    seed: int, engine: str = "batch", variant: str = "baseline"
+) -> Dict[str, object]:
     """One seed's sweep record, as plain data (pool-task friendly).
 
     Keys: ``seed``, ``describe``, ``conforms`` (the engines agree under
@@ -378,7 +417,7 @@ def seed_verdict(seed: int, engine: str = "batch") -> Dict[str, object]:
     and — on a mismatch only — ``message`` carrying the detail plus the
     one-line repro.
     """
-    case = build_case(seed)
+    case = build_case(seed, variant)
     scalar_sig, other_sig = run_case(case, engine)
     mode = signature_mode_of(engine)
     a, b = _project(scalar_sig, mode), _project(other_sig, mode)
@@ -400,6 +439,7 @@ def run_seeds(
     bus=None,
     engine: str = "batch",
     profile=None,
+    variant: str = "baseline",
 ) -> List[Dict[str, object]]:
     """Sweep ``seeds`` through :func:`seed_verdict`, fanning out across
     ``jobs`` worker processes; verdicts come back in seed order and are
@@ -407,7 +447,7 @@ def run_seeds(
     ``repro.obs.spans.ProfileSession``) enables per-task profiling
     capture without changing any verdict."""
     tasks = [
-        PoolTask(seed_verdict, (seed, engine), label=f"seed:{seed}")
+        PoolTask(seed_verdict, (seed, engine, variant), label=f"seed:{seed}")
         for seed in seeds
     ]
     return run_tasks(tasks, jobs=jobs, timeout=timeout, bus=bus,
@@ -429,6 +469,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="candidate engine compared against scalar; batch is held to "
         "the full bit-identical signature, vector to the relaxed "
         "verdict/failure-attribution signature",
+    )
+    parser.add_argument(
+        "--variant", choices=VARIANTS, default="baseline",
+        help="corpus variant: baseline keeps each seed's generated "
+        "schedule/machine; dynamic-nocontention reshapes every case "
+        "into dynamic self-scheduling on a contention-free machine "
+        "(the vector tier's replayed fast path)",
     )
     parser.add_argument(
         "--count", type=int, default=50,
@@ -464,7 +511,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         else list(range(args.start, args.start + args.count))
     )
     verdicts = run_seeds(
-        seeds, jobs=args.jobs, timeout=args.timeout, engine=args.engine
+        seeds, jobs=args.jobs, timeout=args.timeout, engine=args.engine,
+        variant=args.variant,
     )
     failures = 0
     for verdict in verdicts:
@@ -482,6 +530,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         doc = {
             "harness": "diffcheck",
             "engine": args.engine,
+            "variant": args.variant,
             "signature_mode": mode,
             "seeds": [seeds[0], seeds[-1]] if seeds else [],
             "verdicts": {

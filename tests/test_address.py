@@ -31,9 +31,15 @@ class TestAllocation:
         with pytest.raises(ConfigurationError):
             space.allocate("A", 0)
 
-    def test_element_larger_than_line_rejected(self, space):
+    def test_element_wider_than_line_spans_whole_lines(self, space):
+        # Allowed when each element covers whole lines...
+        a = space.allocate("A", 10, elem_bytes=128)
+        assert a.size_bytes == 1280
+        # ...rejected when a partial tail line would result.
         with pytest.raises(ConfigurationError):
-            space.allocate("A", 10, elem_bytes=128)
+            space.allocate("B", 10, elem_bytes=96)
+        with pytest.raises(ConfigurationError):
+            space.allocate("C", 10, elem_bytes=0)
 
     def test_bad_policy_rejected(self, space):
         with pytest.raises(ConfigurationError):

@@ -20,6 +20,9 @@ import random
 
 import pytest
 
+from repro.obs import spans
+from repro.obs.spans import SpanProfiler
+from repro.runtime.schedule import SchedulePolicy
 from repro.testing import diffcheck
 from repro.testing.diffcheck import (
     DiffMismatch,
@@ -32,6 +35,14 @@ from repro.testing.diffcheck import (
     verdict_signature,
 )
 from repro.types import ProtocolKind
+
+
+def _counter_total(prof: SpanProfiler, name: str) -> float:
+    """Sum a counter over the root and every recorded span frame."""
+    total = prof.counters.get(name, 0)
+    for span in prof.spans:
+        total += span.get("counters", {}).get(name, 0)
+    return total
 
 # 240 fixed seeds (the ISSUE floor is 200), swept in groups so a failure
 # pinpoints its block while collection stays cheap.
@@ -220,6 +231,95 @@ class TestThreeWayConformance:
         message = str(excinfo.value)
         assert "--seed 9 --engine vector" in message
         assert "signature mode: verdict" in message
+
+
+# ----------------------------------------------------------------------
+# The widened vector fast path: no silent delegation (ISSUE 10)
+# ----------------------------------------------------------------------
+class TestVectorFastPathCoverage:
+    """The vector tier must *decide* — not delegate — every corpus case
+    whose cost model it can reproduce exactly: all static-schedule runs
+    (PASS and FAIL) and all dynamic-schedule runs on a contention-free
+    direct-mapped machine (the ``dynamic-nocontention`` variant).  The
+    span counter proves the fast path ran."""
+
+    GROUP = 30
+
+    def _sweep(self, seeds, variant):
+        delegations = 0
+        fails = 0
+        for seed in seeds:
+            case = build_case(seed, variant)
+            if (
+                variant == "baseline"
+                and case.schedule.policy is SchedulePolicy.DYNAMIC
+            ):
+                # Baseline dynamic cases run on contention-enabled
+                # machines: the replay rightly declines those.
+                continue
+            prof = SpanProfiler()
+            spans.install(prof)
+            try:
+                scalar_sig, vector_sig = run_case(case, engine="vector")
+            finally:
+                spans.uninstall()
+            assert verdict_signature(scalar_sig) == verdict_signature(
+                vector_sig
+            ), case.describe()
+            delegations += _counter_total(prof, "vector.delegations")
+            if not scalar_sig["passed"]:
+                fails += 1
+        assert delegations == 0, (
+            f"vector tier silently delegated on {variant} corpus cases"
+        )
+        return fails
+
+    @pytest.mark.parametrize("base", [0, 60, 120, 180])
+    def test_static_corpus_decided_natively(self, base):
+        self._sweep(range(base, base + self.GROUP), "baseline")
+
+    @pytest.mark.parametrize("base", [0, 60, 120, 180])
+    def test_dynamic_nocontention_corpus_decided_natively(self, base):
+        self._sweep(range(base, base + self.GROUP), "dynamic-nocontention")
+
+    def test_fail_cases_are_covered_without_delegation(self):
+        """The zero-delegation guarantee must include FAIL verdicts on
+        both corpus variants, or the localized-FAIL claim is hollow."""
+        fails = self._sweep(range(0, 60), "baseline")
+        assert fails > 0
+        fails = self._sweep(range(0, 60), "dynamic-nocontention")
+        assert fails > 0
+
+    def test_dynamic_variant_reshapes_only_the_schedule(self):
+        base = build_case(17, "baseline")
+        dyn = build_case(17, "dynamic-nocontention")
+        assert dyn.schedule.policy is SchedulePolicy.DYNAMIC
+        assert dyn.timestamp_bits is None
+        assert not dyn.params.contention.enabled
+        assert dyn.loop.iterations == base.loop.iterations
+        assert dyn.protocol == base.protocol
+        assert dyn.params.num_processors == base.params.num_processors
+        assert "variant=dynamic-nocontention" in dyn.describe()
+
+    def test_extraction_memo_reuse_is_counted(self):
+        """Repeated runs of one sweep point reuse the extraction (and,
+        for dynamic schedules, the replayed assignment), counted by the
+        ``vector.extract_memo_hits`` / ``vector.replay_memo_hits``
+        span counters."""
+        from repro.runtime.vector import clear_extraction_memos
+
+        case = build_case(2, "dynamic-nocontention")
+        clear_extraction_memos()
+        prof = SpanProfiler()
+        spans.install(prof)
+        try:
+            run_case(case, engine="vector")  # cold: fills the memos
+            run_case(case, engine="vector")  # warm: must hit both
+        finally:
+            spans.uninstall()
+        assert _counter_total(prof, "vector.extract_memo_hits") >= 1
+        assert _counter_total(prof, "vector.replay_memo_hits") >= 1
+        assert _counter_total(prof, "vector.delegations") == 0
 
 
 # ----------------------------------------------------------------------

@@ -20,9 +20,13 @@ detection cycle, assignment).
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
-from repro.params import small_test_params
+from repro.obs import spans
+from repro.obs.spans import SpanProfiler
+from repro.params import ContentionModel, small_test_params
 from repro.runtime.driver import RunConfig, run_hw
 from repro.runtime.schedule import SchedulePolicy, ScheduleSpec, VirtualMode
 from repro.testing.diffcheck import conformance_signature, verdict_signature
@@ -149,3 +153,106 @@ class TestLoopEndDirtyLineCommit:
             pytest.skip("three-way check runs once")
         result, _ = _all_engines(_commit_hole_loop())
         assert not result.passed
+
+
+# ----------------------------------------------------------------------
+# Exact FAIL attribution through the vector tier's localized replay
+# ----------------------------------------------------------------------
+def _flow_dep_loop(protocol: ProtocolKind) -> Loop:
+    """Every iteration reads A[5] before writing it, so *any* split of
+    the four iterations across two processors FAILs: two processors
+    touch a written element (the non-privatization test) and a read
+    happens first in an iteration later than a write (the privatization
+    tests).  Robust to the emergent dynamic grab order."""
+    body = [
+        [read("A", 5), compute(10), write("A", 5)] for _ in range(4)
+    ]
+    return Loop(f"flow-dep-{protocol.value}", [ArraySpec("A", 16, 8, protocol)], body)
+
+
+def _attribution(result):
+    failure = result.failure
+    return (
+        failure.reason,
+        failure.element,
+        failure.iteration,
+        failure.processor,
+        result.detection_cycle,
+    )
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    [ProtocolKind.NONPRIV, ProtocolKind.PRIV, ProtocolKind.PRIV_SIMPLE],
+)
+class TestVectorFailAttribution:
+    """The vector tier's FAIL-localizing kernels + single op-by-op
+    attempt must reproduce scalar's exact attribution — reason, element,
+    iteration, processor, detection cycle — without wholesale
+    delegation (the span counter proves which path ran)."""
+
+    def _run_vector_counted(self, loop, config):
+        prof = SpanProfiler()
+        spans.install(prof)
+        try:
+            result = run_hw(loop, small_test_params(2), dataclasses.replace(
+                config, engine="vector"
+            ))
+        finally:
+            spans.uninstall()
+        delegations = prof.counters.get("vector.delegations", 0) + sum(
+            s.get("counters", {}).get("vector.delegations", 0)
+            for s in prof.spans
+        )
+        return result, delegations
+
+    def test_static_fail_attribution_matches_scalar(self, protocol):
+        loop = _flow_dep_loop(protocol)
+        config = RunConfig(
+            engine="scalar",
+            schedule=ScheduleSpec(
+                policy=SchedulePolicy.STATIC_CHUNK,
+                chunk_iterations=1,
+                virtual_mode=VirtualMode.ITERATION,
+            ),
+        )
+        scalar = run_hw(loop, small_test_params(2), config)
+        assert not scalar.passed
+        assert scalar.failure.element == ("A", 5)
+        vector, delegations = self._run_vector_counted(loop, config)
+        assert not vector.passed
+        assert _attribution(vector) == _attribution(scalar)
+        assert vector.assignment == scalar.assignment
+        assert delegations == 0, "FAIL must be localized, not delegated"
+
+    def test_dynamic_nocontention_fail_attribution_matches_scalar(self, protocol):
+        loop = _flow_dep_loop(protocol)
+        params = dataclasses.replace(
+            small_test_params(2), contention=ContentionModel(enabled=False)
+        )
+        config = RunConfig(
+            engine="scalar",
+            schedule=ScheduleSpec(policy=SchedulePolicy.DYNAMIC,
+                                  chunk_iterations=1),
+        )
+        scalar = run_hw(loop, params, config)
+        assert not scalar.passed
+        prof = SpanProfiler()
+        spans.install(prof)
+        try:
+            vector = run_hw(
+                loop, params, dataclasses.replace(config, engine="vector")
+            )
+        finally:
+            spans.uninstall()
+        delegations = prof.counters.get("vector.delegations", 0) + sum(
+            s.get("counters", {}).get("vector.delegations", 0)
+            for s in prof.spans
+        )
+        assert not vector.passed
+        assert _attribution(vector) == _attribution(scalar)
+        # The emergent (aborted) grab order is part of the attribution.
+        assert vector.assignment == scalar.assignment
+        assert delegations == 0, (
+            "dynamic contention-free FAIL must replay natively"
+        )

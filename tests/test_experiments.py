@@ -198,7 +198,7 @@ class TestCLI:
 
         from repro.experiments.cli import main
 
-        out_path = tmp_path / "BENCH_PR6.json"
+        out_path = tmp_path / "BENCH_PR10.json"
         assert main(["bench", "--bench-out", str(out_path),
                      "--bench-reps", "1"]) == 0
         doc = json.loads(out_path.read_text())
@@ -207,16 +207,23 @@ class TestCLI:
         assert "overhead_pct" in doc["telemetry"]
         assert "overhead_pct" in doc["monitors"]
         assert doc["provenance"]["config_hash"]
-        # The engine matrix covers all three engines at every level.
-        assert set(doc["engines"]) == {"scalar", "batch", "vector"}
-        for levels in doc["engines"].values():
-            assert set(levels) == {"bare", "telemetry", "monitors"}
+        # The engine matrix covers all three engines at every level,
+        # plus the bare-only FAIL-heavy and dynamic scenario rows.
+        scenario_rows = {"batch-fail", "vector-fail",
+                         "batch-dynamic", "vector-dynamic"}
+        assert set(doc["engines"]) == {"scalar", "batch", "vector"} | scenario_rows
+        for engine, levels in doc["engines"].items():
+            if engine in scenario_rows:
+                assert set(levels) == {"bare"}
+            else:
+                assert set(levels) == {"bare", "telemetry", "monitors"}
             assert levels["bare"]["iters_per_s"] > 0
         # Top level mirrors the scalar engine (PR3-era shape).
         assert doc["bare"] == doc["engines"]["scalar"]["bare"]
         out = capsys.readouterr().out
         assert "wrote" in out and "bare speedups: batch/scalar" in out
         assert "vector/batch" in out
+        assert "fail" in out and "dynamic" in out
 
     def test_cli_bench_parallel_cells(self, tmp_path, capsys):
         import json
@@ -227,7 +234,10 @@ class TestCLI:
         assert main(["bench", "--bench-out", str(out_path),
                      "--bench-reps", "1", "--jobs", "2"]) == 0
         doc = json.loads(out_path.read_text())
-        assert set(doc["engines"]) == {"scalar", "batch", "vector"}
+        assert set(doc["engines"]) == {
+            "scalar", "batch", "vector",
+            "batch-fail", "vector-fail", "batch-dynamic", "vector-dynamic",
+        }
         for levels in doc["engines"].values():
             assert levels["bare"]["iters_per_s"] > 0
 

@@ -24,7 +24,9 @@ from repro.workloads.synthetic import (
 )
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
-BENCH_SNAPSHOTS = ["BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR6.json"]
+BENCH_SNAPSHOTS = [
+    "BENCH_PR3.json", "BENCH_PR4.json", "BENCH_PR6.json", "BENCH_PR10.json",
+]
 
 ENGINES = ("scalar", "batch", "vector")
 
@@ -217,6 +219,52 @@ class TestCacheHit:
         assert not [e for e in t2.events if isinstance(e, RunStartEvent)]
         assert not [e for e in t2.events if isinstance(e, LedgerWriteEvent)]
 
+    def test_delegated_vector_run_archives_under_vector_key(
+        self, tmp_path, monkeypatch
+    ):
+        """Regression: a vector run that delegates to batch used to let
+        the inner ``run_hw`` archive under the *batch* config's content
+        address (with batch provenance, restamped only afterwards), so
+        a repeat of the identical vector request never hit the cache.
+        The delegation must commit exactly one record, keyed by the
+        caller's vector config, and the repeat must be served."""
+        from repro.obs import spans
+        from repro.obs.spans import SpanProfiler
+
+        params = small_test_params(4)  # contention on: replay declines,
+        ledger = RunLedger(str(tmp_path))  # so this config delegates
+        config = RunConfig(
+            engine="vector",
+            schedule=ScheduleSpec(policy=SchedulePolicy.DYNAMIC),
+            ledger=ledger,
+        )
+        prof = SpanProfiler()
+        spans.install(prof)
+        try:
+            first = run_hw(_loop(), params, config)
+        finally:
+            spans.uninstall()
+        delegations = sum(
+            s["counters"].get("vector.delegations", 0) for s in prof.spans
+        ) + prof.counters.get("vector.delegations", 0)
+        assert delegations == 1, "case must exercise the delegation path"
+
+        records = list(ledger.records(kind="run"))
+        assert len(records) == 1, "inner batch run must not archive itself"
+        expected = ledger_key(
+            Scenario.HW, _loop(), params, config, provenance=first.provenance
+        )
+        assert records[0]["key"] == expected
+
+        def boom(*a, **k):
+            raise AssertionError("simulation ran despite a ledger hit")
+
+        monkeypatch.setattr("repro.runtime.driver.Machine", boom)
+        monkeypatch.setattr("repro.runtime.vector.Machine", boom)
+        served = run_hw(_loop(), params, config)
+        assert served == first
+        assert served.provenance == first.provenance
+
     def test_monitors_and_hooks_disable_serving(self, tmp_path):
         from repro.obs import MonitorSuite
 
@@ -348,13 +396,14 @@ class TestBenchHistory:
         assert ledgercli.main(["--ledger-dir", str(tmp_path), "trend"]) == 0
         out = capsys.readouterr().out
         lines = [l for l in out.splitlines() if "BENCH_PR" in l]
-        assert len(lines) == 3
+        assert len(lines) == len(BENCH_SNAPSHOTS)
         # The committed history: scalar 1563 -> scalar 2394 / batch 3410
-        # -> vector 8748, oldest first.
+        # -> vector 8748 -> vector 8991 (+ scenario rows), oldest first.
         assert "scalar 1,563" in lines[0]
         assert "scalar 2,394" in lines[1] and "batch 3,410" in lines[1]
         assert "vector 8,748" in lines[2]
-        assert "1,563 -> 8,748" in out
+        assert "vector 8,991" in lines[3] and "vector-dynamic" in lines[3]
+        assert "1,563 ->" in out
 
     def test_regressions_window(self, tmp_path, capsys):
         ledger = RunLedger(str(tmp_path))
@@ -404,7 +453,10 @@ class TestBenchHistory:
         (entry,) = ledger.records(kind="bench")
         doc = ledger.lookup(entry["key"])["bench"]
         assert doc == json.loads(out.read_text())
-        assert set(entry["bare_iters_per_s"]) == {"scalar", "batch", "vector"}
+        assert set(entry["bare_iters_per_s"]) == {
+            "scalar", "batch", "vector",
+            "batch-fail", "vector-fail", "batch-dynamic", "vector-dynamic",
+        }
 
 
 # ----------------------------------------------------------------------

@@ -180,6 +180,9 @@ class TestAmbientProfile:
         assert all(s["cat"] == "batch" for s in bursts)
 
     def test_vector_run_records_kernel_spans(self):
+        from repro.runtime.vector import clear_extraction_memos
+
+        clear_extraction_memos()  # force the cold extraction path
         spans.install(SpanProfiler())
         try:
             result = run_hw(_small_loop(), small_test_params(2), _config("vector"))
